@@ -1,0 +1,40 @@
+#ifndef FASTCOMMIT_BENCH_BENCH_UTIL_H_
+#define FASTCOMMIT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+#include "core/complexity.h"
+#include "core/runner.h"
+
+namespace fastcommit::bench {
+
+/// Measured nice-execution complexity of one protocol.
+struct Measured {
+  int64_t delays = 0;
+  int64_t messages = 0;
+};
+
+inline Measured MeasureNice(core::ProtocolKind protocol, int n, int f) {
+  core::RunResult result =
+      core::Run(core::MakeNiceConfig(protocol, n, f));
+  return Measured{result.MessageDelays(), result.PaperMessageCount()};
+}
+
+inline const char* Verdict(int64_t measured, int64_t expected) {
+  return measured == expected ? "ok" : "MISMATCH";
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void PrintRule() {
+  std::printf(
+      "--------------------------------------------------------------------"
+      "----------\n");
+}
+
+}  // namespace fastcommit::bench
+
+#endif  // FASTCOMMIT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,74 @@
+// Helios-style conflict-voting commit (the paper's Section 1 example): a
+// transaction is committed only if *no datacenter detects a conflict* with
+// it. Each partition plays the role of a datacenter; its vote is its local
+// conflict check. Two workloads are contrasted: a disjoint one where every
+// transaction commits, and a hotspot one where concurrent transactions
+// collide on hot keys and abort-and-retry.
+//
+//   ./build/examples/helios_conflict
+
+#include <cstdio>
+
+#include "db/database.h"
+#include "db/workload.h"
+
+namespace db = fastcommit::db;
+namespace core = fastcommit::core;
+
+namespace {
+
+void RunScenario(const char* name, std::vector<db::Transaction> txs,
+                 int max_attempts) {
+  db::Database::Options options;
+  options.num_partitions = 4;
+  options.protocol = core::ProtocolKind::kInbac;
+  options.max_attempts = max_attempts;
+  db::Database datacenters(options);
+
+  // Every transaction arrives at the same instant: maximal overlap, which
+  // is exactly when conflict voting matters.
+  for (auto& tx : txs) datacenters.Submit(std::move(tx), 0);
+  const db::DatabaseStats& stats = datacenters.Drain();
+
+  int64_t conflicts = 0;
+  for (int p = 0; p < options.num_partitions; ++p) {
+    conflicts += datacenters.partition(p).conflicts();
+  }
+  std::printf("%-24s committed=%lld aborted=%lld retries=%lld conflicts=%lld\n",
+              name, static_cast<long long>(stats.committed),
+              static_cast<long long>(stats.aborted),
+              static_cast<long long>(stats.retries),
+              static_cast<long long>(conflicts));
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Helios-style conflict voting: a datacenter votes no whenever the\n"
+      "transaction conflicts locally; the commit protocol (INBAC)\n"
+      "aggregates the votes in two message delays.\n\n");
+
+  // Disjoint key sets: no conflicts, everything commits first try.
+  {
+    std::vector<db::Transaction> txs;
+    for (int i = 0; i < 24; ++i) {
+      db::Transaction tx;
+      tx.id = i + 1;
+      tx.ops.push_back(db::Transaction::Add(db::ItemKey(3 * i), 1));
+      tx.ops.push_back(db::Transaction::Add(db::ItemKey(3 * i + 1), 1));
+      tx.ops.push_back(db::Transaction::Add(db::ItemKey(3 * i + 2), 1));
+      txs.push_back(std::move(tx));
+    }
+    RunScenario("disjoint keys:", std::move(txs), 3);
+  }
+
+  // Hotspot: 80% of ops hit 2 hot keys — heavy conflicting.
+  RunScenario("hotspot (2 hot keys):",
+              db::MakeHotspotWorkload(24, 50, 3, 2, 0.8, 11), 3);
+
+  // Same hotspot but only one attempt: conflicts become aborts.
+  RunScenario("hotspot, no retries:",
+              db::MakeHotspotWorkload(24, 50, 3, 2, 0.8, 13), 1);
+  return 0;
+}

@@ -1,0 +1,69 @@
+#ifndef FASTCOMMIT_COMMIT_A_NBAC_H_
+#define FASTCOMMIT_COMMIT_A_NBAC_H_
+
+#include <vector>
+
+#include "commit/commit_protocol.h"
+
+namespace fastcommit::commit {
+
+/// aNBAC (paper Appendix E.3): cell (AV, A) — agreement and validity in
+/// every crash-failure execution, agreement in every network-failure
+/// execution. Message-optimal: n-1+f messages in every nice execution.
+///
+/// Two overlaid mechanisms:
+///   - the (n-1+f)NBAC vote chain P1 → ... → Pn → P1 → ... → Pf followed by
+///     nooping, which commits (decides 1) at time n+2f+1 if nothing aborted;
+///   - an abort overlay: a 0-voter broadcasts [V, 0] and decides 0 only
+///     after collecting acknowledgements from *all* processes (otherwise it
+///     sets `noop` and never decides); a 1-voter that saw [V, 0] broadcasts
+///     [B, 0] and likewise needs all acknowledgements to decide 0.
+/// The all-acks rule is what preserves agreement under network failures: a
+/// process that already (or will) decide 1 refuses no acknowledgement in
+/// time, so a 0-decision can never coexist with a 1-decision.
+class ANbac : public CommitProtocol {
+ public:
+  explicit ANbac(proc::ProcessEnv* env);
+
+  void Propose(Vote vote) override;
+  void OnMessage(net::ProcessId from, const net::Message& m) override;
+  void OnTimer(int64_t tag) override;
+
+  enum Kind : int {
+    kVal = 1,   ///< bare chain value
+    kV = 2,     ///< [V, 0]
+    kB = 3,     ///< [B, 0]
+    kAckV = 4,  ///< [ACK, V]
+    kAckB = 5,  ///< [ACK, B]
+  };
+
+ private:
+  // Chain timer tags reuse the paper times; timer0 tags are offset.
+  static constexpr int64_t kTimer0Tag = 1000;
+
+  net::ProcessId PredecessorId() const { return (id() - 1 + n()) % n(); }
+  net::ProcessId SuccessorId() const { return (id() + 1) % n(); }
+  void BroadcastDecisionOnce();
+  void OnChainTimer(int64_t tag);
+  void OnTimer0(int64_t paper_time);
+
+  // Chain state.
+  int64_t decision_value_ = 1;
+  bool delivered_ = false;
+  bool relayed_ = false;
+  int phase_ = 0;
+
+  // Abort-overlay state.
+  int64_t vote_ = 1;
+  bool delivered_v_ = false;
+  std::vector<bool> collection_v_;
+  int collection_v_size_ = 0;
+  std::vector<bool> collection_b_;
+  int collection_b_size_ = 0;
+  bool noop_ = false;
+  int phase0_ = 0;
+};
+
+}  // namespace fastcommit::commit
+
+#endif  // FASTCOMMIT_COMMIT_A_NBAC_H_

@@ -1,0 +1,29 @@
+#include "commit/av_nbac_fast.h"
+
+namespace fastcommit::commit {
+
+AvNbacFast::AvNbacFast(proc::ProcessEnv* env) : CommitProtocol(env, nullptr) {
+  timer_origin_ = 0;
+}
+
+void AvNbacFast::Propose(Vote vote) {
+  net::Message m;
+  m.kind = kV;
+  m.value = VoteValue(vote);
+  SendAll(m);
+  SetTimerAtPaperTime(1);
+}
+
+void AvNbacFast::OnMessage(net::ProcessId /*from*/, const net::Message& m) {
+  FC_CHECK(m.kind == kV) << "unknown avnbac-fast message kind " << m.kind;
+  ++votes_seen_;
+  and_votes_ &= m.value;
+}
+
+void AvNbacFast::OnTimer(int64_t /*tag*/) {
+  if (votes_seen_ == n()) DecideValue(and_votes_);
+  // Otherwise: never decide — the cell does not promise termination once a
+  // failure occurs.
+}
+
+}  // namespace fastcommit::commit

@@ -1,0 +1,90 @@
+#include "commit/bcast_nbac.h"
+
+namespace fastcommit::commit {
+
+BcastNbac::BcastNbac(proc::ProcessEnv* env)
+    : CommitProtocol(env, nullptr),
+      collection_(static_cast<size_t>(env->n()), false) {
+  timer_origin_ = 1;
+  collection_[static_cast<size_t>(id())] = true;  // collection := {Pi}
+  collection_size_ = 1;
+}
+
+void BcastNbac::Propose(Vote vote) {
+  votes_ &= VoteValue(vote);
+  if (rank() <= n() - 1) {
+    net::Message m;
+    m.kind = kV;
+    m.value = VoteValue(vote);
+    SendTo(RankToId(n()), m);
+    SetTimerAtPaperTime(3);
+  } else {
+    SetTimerAtPaperTime(2);
+  }
+}
+
+void BcastNbac::OnMessage(net::ProcessId from, const net::Message& m) {
+  switch (m.kind) {
+    case kV: {
+      votes_ &= m.value;
+      if (!collection_[static_cast<size_t>(from)]) {
+        collection_[static_cast<size_t>(from)] = true;
+        ++collection_size_;
+      }
+      break;
+    }
+    case kB: {
+      received_b_ = true;
+      votes_ = m.value;
+      if (votes_ == 0) RelayZeroOnce();
+      break;
+    }
+    default:
+      FC_FAIL() << "unknown bcast-nbac message kind " << m.kind;
+  }
+}
+
+void BcastNbac::RelayZeroOnce() {
+  if (relayed_zero_) return;
+  relayed_zero_ = true;
+  net::Message m;
+  m.kind = kB;
+  m.value = 0;
+  SendAll(m);
+}
+
+void BcastNbac::OnTimer(int64_t tag) {
+  if (phase_ == 0 && tag == 2 && IsHub()) {
+    if (votes_ == 1 && collection_size_ == n()) {
+      net::Message m;
+      m.kind = kB;
+      m.value = 1;
+      SendAll(m);
+    } else {
+      votes_ = 0;
+      relayed_zero_ = true;  // this broadcast is the hub's own relay
+      net::Message m;
+      m.kind = kB;
+      m.value = 0;
+      SendAll(m);
+    }
+    SetTimerAtPaperTime(3 + f());
+    phase_ = 1;
+    return;
+  }
+  if (phase_ == 0 && tag == 3 && !IsHub()) {
+    if (!received_b_) {
+      votes_ = 0;
+      RelayZeroOnce();
+    }
+    SetTimerAtPaperTime(3 + f());
+    phase_ = 1;
+    return;
+  }
+  if (phase_ == 1 && tag == 3 + f()) {
+    DecideValue(votes_);
+    return;
+  }
+}
+
+}  // namespace fastcommit::commit

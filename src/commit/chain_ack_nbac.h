@@ -1,0 +1,53 @@
+#ifndef FASTCOMMIT_COMMIT_CHAIN_ACK_NBAC_H_
+#define FASTCOMMIT_COMMIT_CHAIN_ACK_NBAC_H_
+
+#include "commit/commit_protocol.h"
+
+namespace fastcommit::commit {
+
+/// (2n-2+f)NBAC (paper Appendix E.6): the message-optimal protocol for the
+/// most robust cell (AVT, AVT) — indulgent atomic commit — with 2n-2+f
+/// messages in every nice execution (the tight bound of Theorem 2), at the
+/// price of roughly 2n+f message delays (the other end of the tradeoff from
+/// INBAC's 2 delays / 2fn messages).
+///
+/// Nice execution, three chained sweeps:
+///   [V] chain  P1 → P2 → ... → Pn            (n-1 messages) — collect votes;
+///   [B] chain  Pn → P1 → ... → Pn            (n   messages) — disseminate
+///              the AND; Pf..Pn-1 decide as the chain passes them;
+///   [Z] chain  Pn → P1 → ... → Pf-1          (f-1 messages, f >= 2) —
+///              final confirmations for the first f-1 processes.
+/// On any break (crash or late message) a process either proposes to
+/// uniform consensus directly or, for the middle ranks, first asks
+/// {P1..Pf, Pn} for [HELPED, votes] and proposes what it learns.
+class ChainAckNbac : public CommitProtocol {
+ public:
+  ChainAckNbac(proc::ProcessEnv* env, consensus::Consensus* cons);
+
+  void Propose(Vote vote) override;
+  void OnMessage(net::ProcessId from, const net::Message& m) override;
+  void OnTimer(int64_t tag) override;
+
+  enum Kind : int {
+    kV = 1,
+    kB = 2,
+    kZ = 3,
+    kHelp = 4,
+    kHelped = 5,
+  };
+
+ private:
+  void OnPhase0Timeout();
+  void OnPhase1Timeout();
+  void OnPhase2Timeout();
+
+  int64_t votes_ = 1;
+  bool received_v_ = false;
+  bool received_b_ = false;
+  bool received_z_ = false;
+  int phase_ = 0;
+};
+
+}  // namespace fastcommit::commit
+
+#endif  // FASTCOMMIT_COMMIT_CHAIN_ACK_NBAC_H_

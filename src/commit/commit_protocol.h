@@ -1,0 +1,116 @@
+#ifndef FASTCOMMIT_COMMIT_COMMIT_PROTOCOL_H_
+#define FASTCOMMIT_COMMIT_COMMIT_PROTOCOL_H_
+
+#include <functional>
+#include <string>
+
+#include "consensus/consensus.h"
+#include "net/message.h"
+#include "proc/module.h"
+#include "proc/process_env.h"
+
+namespace fastcommit::commit {
+
+/// A process's vote on the local fate of the transaction (Definition 1).
+enum class Vote : uint8_t {
+  kNo = 0,   ///< transaction failed locally (conflict, full disk, ...)
+  kYes = 1,  ///< willing to commit
+};
+
+/// The outcome at a process.
+enum class Decision : int8_t {
+  kNone = -1,  ///< not (yet) decided — a blocked 2PC participant stays here
+  kAbort = 0,
+  kCommit = 1,
+};
+
+/// Converts a decision to the 0/1 value used by the paper's pseudocode.
+inline int DecisionValue(Decision d) { return d == Decision::kCommit ? 1 : 0; }
+inline Decision DecisionFromValue(int64_t v) {
+  return v == 0 ? Decision::kAbort : Decision::kCommit;
+}
+inline int VoteValue(Vote v) { return v == Vote::kYes ? 1 : 0; }
+
+const char* ToString(Decision d);
+const char* ToString(Vote v);
+
+/// Base class for every atomic commit protocol in the repository.
+///
+/// Lifecycle, matching the paper's module events:
+///   - Propose(vote) is invoked once at the process's start time
+///     (<ac, Propose | v>);
+///   - OnMessage / OnTimer are driven by the host;
+///   - the protocol calls Decide() exactly once (<ac, Decide | d>), observed
+///     via decision() and the optional callback.
+///
+/// Protocols that rely on an underlying uniform consensus (1NBAC, 0NBAC,
+/// (2n-2+f)NBAC, INBAC) receive a Consensus instance; the host wires that
+/// instance's decide event to OnConsensusDecide.
+class CommitProtocol : public proc::Module {
+ public:
+  CommitProtocol(proc::ProcessEnv* env, consensus::Consensus* cons);
+  ~CommitProtocol() override = default;
+
+  /// <ac, Propose | v>. Called exactly once.
+  virtual void Propose(Vote vote) = 0;
+
+  /// Default: <uc, Decide | v> and not decided => Decide(v); protocols with
+  /// different wiring override.
+  virtual void OnConsensusDecide(int value);
+
+  /// Default: no timers.
+  void OnTimer(int64_t /*tag*/) override {}
+
+  Decision decision() const { return decision_; }
+  bool has_decided() const { return decision_ != Decision::kNone; }
+
+  void set_on_decide(std::function<void(Decision)> cb) {
+    on_decide_ = std::move(cb);
+  }
+
+ protected:
+  /// <ac, Decide | d>. Integrity: at most one decision per execution;
+  /// duplicate calls are checked, matching the paper's integrity property.
+  void Decide(Decision d);
+  void DecideValue(int64_t v) { Decide(DecisionFromValue(v)); }
+
+  /// <uc, Propose | v>; at most the first call takes effect (the pseudocode
+  /// guards every proposal with a `proposed` flag).
+  void ConsPropose(int value);
+  bool cons_proposed() const { return cons_proposed_; }
+
+  // Identity helpers. rank() is the paper's 1-based index: rank of P1 is 1.
+  int id() const { return env_->id(); }
+  int rank() const { return env_->id() + 1; }
+  int n() const { return env_->n(); }
+  int f() const { return env_->f(); }
+  net::ProcessId RankToId(int rank) const { return rank - 1; }
+
+  /// Sends to the process with the given 0-based id.
+  void SendTo(net::ProcessId to, net::Message m) { env_->Send(to, std::move(m)); }
+  /// "forall q ∈ Ω" — includes self (delivered locally, not counted).
+  void SendAll(const net::Message& m);
+  /// "every other process".
+  void SendOthers(const net::Message& m);
+
+  /// "set timer to time k": fires OnTimer(tag) at (k - origin) * U, where
+  /// origin is 0 for the protocols whose timer starts at 0 on Propose
+  /// (INBAC, 1NBAC, 0NBAC, avNBAC-fast) and 1 for those whose timer "starts
+  /// at time 1 when the first sending event happens" (the Appendix E
+  /// protocols). Subclasses set timer_origin_ in their constructor.
+  void SetTimerAtPaperTime(int64_t k, int64_t tag);
+  void SetTimerAtPaperTime(int64_t k) { SetTimerAtPaperTime(k, k); }
+
+  proc::ProcessEnv* env_;
+  consensus::Consensus* consensus_;
+  int64_t timer_origin_ = 0;
+
+ private:
+  Decision decision_ = Decision::kNone;
+  bool cons_proposed_ = false;
+  std::function<void(Decision)> on_decide_;
+};
+
+}  // namespace fastcommit::commit
+
+#endif  // FASTCOMMIT_COMMIT_COMMIT_PROTOCOL_H_

@@ -1,0 +1,44 @@
+#ifndef FASTCOMMIT_COMMIT_ONE_NBAC_H_
+#define FASTCOMMIT_COMMIT_ONE_NBAC_H_
+
+#include <vector>
+
+#include "commit/commit_protocol.h"
+
+namespace fastcommit::commit {
+
+/// 1NBAC (paper Section 4.1 and Appendix D): the delay-optimal synchronous
+/// NBAC protocol, cell (AVT, VT) — NBAC in every crash-failure execution,
+/// validity and termination in every network-failure execution. In every
+/// nice execution each process decides after exactly one message delay,
+/// which the paper proves optimal, at the cost of n(n-1) messages (the
+/// time/message tradeoff of Theorem 2's discussion).
+///
+///   time 0: every process sends its vote to every process;
+///   time U: a process with all n votes broadcasts [D, AND(votes)] and
+///           decides; otherwise it waits one more delay for some [D, d]
+///           and proposes d (or 0 if none arrived) to uniform consensus.
+class OneNbac : public CommitProtocol {
+ public:
+  OneNbac(proc::ProcessEnv* env, consensus::Consensus* cons);
+
+  void Propose(Vote vote) override;
+  void OnMessage(net::ProcessId from, const net::Message& m) override;
+  void OnTimer(int64_t tag) override;
+
+  enum Kind : int {
+    kV = 1,  ///< [V, v] — a vote
+    kD = 2,  ///< [D, d] — the AND of all n votes
+  };
+
+ private:
+  int phase_ = 0;
+  int64_t decision_value_ = 1;
+  std::vector<bool> collection0_;  ///< senders of [V, *]
+  int collection0_size_ = 0;
+  int collection1_size_ = 0;  ///< senders of [D, *]
+};
+
+}  // namespace fastcommit::commit
+
+#endif  // FASTCOMMIT_COMMIT_ONE_NBAC_H_

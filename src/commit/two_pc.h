@@ -1,0 +1,46 @@
+#ifndef FASTCOMMIT_COMMIT_TWO_PC_H_
+#define FASTCOMMIT_COMMIT_TWO_PC_H_
+
+#include "commit/commit_protocol.h"
+
+namespace fastcommit::commit {
+
+/// Two-phase commit (Gray 1978), with the paper's footnote-13 normalization:
+/// every process starts spontaneously, so the coordinator's vote-request
+/// round is elided. P1 is the coordinator.
+///
+///   time 0: every participant sends its vote to P1        (n-1 messages)
+///   time U: P1 has all votes, broadcasts the outcome and
+///           decides                                        (n-1 messages)
+///   time 2U: participants decide on receipt.
+///
+/// Guarantees: validity and (uniform) agreement in every execution,
+/// including network-failure ones; termination only in failure-free
+/// executions — if the coordinator crashes before broadcasting, every
+/// participant blocks forever (the blocking window the paper contrasts
+/// INBAC against). If the coordinator times out missing votes (a crash or a
+/// late message), it aborts, which is allowed by validity since a failure
+/// occurred.
+class TwoPhaseCommit : public CommitProtocol {
+ public:
+  explicit TwoPhaseCommit(proc::ProcessEnv* env);
+
+  void Propose(Vote vote) override;
+  void OnMessage(net::ProcessId from, const net::Message& m) override;
+  void OnTimer(int64_t tag) override;
+
+  enum Kind : int {
+    kVote = 1,
+    kOutcome = 2,
+  };
+
+ private:
+  bool IsCoordinator() const { return id() == 0; }
+
+  int votes_received_ = 0;
+  bool all_yes_ = true;
+};
+
+}  // namespace fastcommit::commit
+
+#endif  // FASTCOMMIT_COMMIT_TWO_PC_H_

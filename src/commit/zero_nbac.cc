@@ -1,0 +1,79 @@
+#include "commit/zero_nbac.h"
+
+namespace fastcommit::commit {
+
+ZeroNbac::ZeroNbac(proc::ProcessEnv* env, consensus::Consensus* cons)
+    : CommitProtocol(env, cons),
+      myack_(static_cast<size_t>(env->n()), false) {
+  timer_origin_ = 0;
+}
+
+void ZeroNbac::Propose(Vote vote) {
+  myvote_ = VoteValue(vote);
+  if (myvote_ == 0) {
+    net::Message m;
+    m.kind = kV;
+    m.value = 0;
+    SendAll(m);
+  }
+  SetTimerAtPaperTime(1);
+  phase_ = 1;
+}
+
+void ZeroNbac::OnMessage(net::ProcessId from, const net::Message& m) {
+  switch (m.kind) {
+    case kV: {
+      if (phase_ != 1) break;
+      zero_ = true;
+      net::Message ack;
+      ack.kind = kAck;
+      SendTo(from, ack);
+      break;
+    }
+    case kB: {
+      if (phase_ != 2) break;
+      if (!(myvote_ == 1 && has_decided())) {
+        net::Message ack;
+        ack.kind = kAck;
+        SendTo(from, ack);
+      }
+      break;
+    }
+    case kAck: {
+      if (!myack_[static_cast<size_t>(from)]) {
+        myack_[static_cast<size_t>(from)] = true;
+        ++myack_size_;
+      }
+      break;
+    }
+    default:
+      FC_FAIL() << "unknown 0nbac message kind " << m.kind;
+  }
+}
+
+void ZeroNbac::OnTimer(int64_t tag) {
+  if (tag == 1 && phase_ == 1) {
+    phase_ = 2;
+    if (!zero_ && myvote_ == 1) {
+      Decide(Decision::kCommit);
+    } else if (zero_ && myvote_ == 1) {
+      net::Message m;
+      m.kind = kB;
+      m.value = 0;
+      SendAll(m);
+      SetTimerAtPaperTime(3);
+    } else {
+      SetTimerAtPaperTime(2);
+    }
+    return;
+  }
+  if ((tag == 2 || tag == 3) && phase_ == 2) {
+    // myack ⊂ Ω (proper subset): some process never acknowledged, hence it
+    // had already decided 1 at the first timeout — propose 1 so consensus
+    // cannot contradict it.
+    ConsPropose(myack_size_ < n() ? 1 : 0);
+    return;
+  }
+}
+
+}  // namespace fastcommit::commit

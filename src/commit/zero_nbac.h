@@ -1,0 +1,48 @@
+#ifndef FASTCOMMIT_COMMIT_ZERO_NBAC_H_
+#define FASTCOMMIT_COMMIT_ZERO_NBAC_H_
+
+#include <vector>
+
+#include "commit/commit_protocol.h"
+
+namespace fastcommit::commit {
+
+/// 0NBAC (paper Appendix E.1): cell (AT, AT) — agreement and termination in
+/// every network-failure execution, NBAC in failure-free ones. The protocol
+/// achieves *both* lower bounds at once: zero messages and one message delay
+/// in every nice execution, by the paper's "implicit vote" technique —
+/// a process that votes 1 stays silent; silence through the first delay
+/// means everyone voted 1.
+///
+///   vote 0   => broadcast [V, 0] at time 0;
+///   time U   => a silent-world process (vote 1, nothing received) decides 1;
+///               a vote-1 process that saw [V, 0] broadcasts [B, 0];
+///   receivers of [V, 0] / [B, 0] acknowledge unless they already decided 1;
+///   a process with acknowledgements from all n proposes 0 to consensus,
+///   otherwise 1 (somebody decided 1 and is mute), and decides the
+///   consensus outcome.
+class ZeroNbac : public CommitProtocol {
+ public:
+  ZeroNbac(proc::ProcessEnv* env, consensus::Consensus* cons);
+
+  void Propose(Vote vote) override;
+  void OnMessage(net::ProcessId from, const net::Message& m) override;
+  void OnTimer(int64_t tag) override;
+
+  enum Kind : int {
+    kV = 1,
+    kB = 2,
+    kAck = 3,
+  };
+
+ private:
+  int64_t myvote_ = 1;
+  std::vector<bool> myack_;
+  int myack_size_ = 0;
+  bool zero_ = false;
+  int phase_ = 0;
+};
+
+}  // namespace fastcommit::commit
+
+#endif  // FASTCOMMIT_COMMIT_ZERO_NBAC_H_

@@ -1,0 +1,47 @@
+#ifndef FASTCOMMIT_CONSENSUS_FLOODING_CONSENSUS_H_
+#define FASTCOMMIT_CONSENSUS_FLOODING_CONSENSUS_H_
+
+#include <cstdint>
+
+#include "consensus/consensus.h"
+
+namespace fastcommit::consensus {
+
+/// Synchronous uniform consensus by f+1 rounds of flooding (FloodSet).
+/// Tolerates any number of crashes f <= n-1, unlike Paxos, but requires the
+/// crash-failure (synchronous) system model: it is the right plug-in for the
+/// cells whose termination is only promised under crash failures (e.g.,
+/// 1NBAC's crash-failure NBAC guarantee with f >= n/2).
+///
+/// Round alignment: commit protocols propose at different local times, so
+/// rounds are pinned to the absolute clock. All proposals are buffered until
+/// `epoch_start` (in units of U); round k (k = 1..f+1) spans
+/// [epoch_start + k - 1, epoch_start + k). At each boundary every
+/// participant floods the set of values it has seen (encoded as a 2-bit
+/// mask); at epoch_start + f + 1 it decides: value v if only v was seen,
+/// otherwise 0 (the abort-biased tie-break, deterministic across processes).
+/// The runner must pick epoch_start after the last possible proposal time of
+/// the commit protocol in a crash-failure execution; Propose checks this.
+class FloodingConsensus : public Consensus {
+ public:
+  FloodingConsensus(proc::ProcessEnv* env, int64_t epoch_start_units);
+
+  void Propose(int value) override;
+  void OnMessage(net::ProcessId from, const net::Message& m) override;
+  void OnTimer(int64_t tag) override;
+
+  enum Kind : int {
+    kFlood = 1,
+  };
+
+ private:
+  void FloodAndAdvance(int64_t round);
+
+  int64_t epoch_start_units_;
+  bool active_ = false;
+  uint32_t seen_mask_ = 0;  ///< bit 0: value 0 seen; bit 1: value 1 seen
+};
+
+}  // namespace fastcommit::consensus
+
+#endif  // FASTCOMMIT_CONSENSUS_FLOODING_CONSENSUS_H_

@@ -1,0 +1,75 @@
+#ifndef FASTCOMMIT_CONSENSUS_PAXOS_CONSENSUS_H_
+#define FASTCOMMIT_CONSENSUS_PAXOS_CONSENSUS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "consensus/consensus.h"
+
+namespace fastcommit::consensus {
+
+/// Single-decree Paxos (synod) with a rotating coordinator and growing
+/// rounds, decided on the absolute clock so all processes agree on round
+/// boundaries without extra messages.
+///
+/// Round r (r = 0, 1, ...) spans [Start(r), Start(r+1)) with
+/// Start(r) = round_base * r * (r + 1) / 2, i.e., round r lasts
+/// round_base * (r + 1) ticks; the leader of round r is process r mod n.
+/// Durations grow without bound, so after the network's GST some round led
+/// by a correct, active proposer is long enough for the two phases to
+/// complete: termination under eventual synchrony with a correct majority.
+/// Safety (uniform agreement + validity) holds unconditionally, by the
+/// standard ballot argument.
+///
+/// Processes that never propose still act as acceptors; a process only
+/// drives rounds (sets timers, sends PREPARE) once it has proposed.
+class PaxosConsensus : public Consensus {
+ public:
+  /// `round_base` is the duration of round 0 in ticks (recommended: 8 * U).
+  PaxosConsensus(proc::ProcessEnv* env, sim::Time round_base);
+
+  void Propose(int value) override;
+  void OnMessage(net::ProcessId from, const net::Message& m) override;
+  void OnTimer(int64_t tag) override;
+
+  /// Message kinds (exposed for tests and trace analysis).
+  enum Kind : int {
+    kPrepare = 1,
+    kPromise = 2,
+    kAccept = 3,
+    kAccepted = 4,
+    kDecide = 5,
+  };
+
+ private:
+  sim::Time RoundStart(int64_t round) const;
+  int64_t RoundLeader(int64_t round) const;
+  int64_t CurrentRound() const;
+  void BeginRoundsFrom(int64_t round);
+  void MaybeLeadRound(int64_t round);
+  void BroadcastDecision(int value);
+
+  sim::Time round_base_;
+  bool active_ = false;  ///< has proposed
+  int my_value_ = -1;
+
+  // Acceptor state.
+  int64_t promised_ = -1;
+  int64_t accepted_ballot_ = -1;
+  int accepted_value_ = -1;
+
+  // Leader state for the round this process is currently driving.
+  int64_t leading_ = -1;
+  int lead_value_ = -1;
+  int promise_count_ = 0;
+  int64_t best_promise_ballot_ = -1;
+  int best_promise_value_ = -1;
+  int accepted_count_ = 0;
+  bool accept_sent_ = false;
+  bool decide_broadcast_ = false;
+  int64_t next_scheduled_round_ = -1;
+};
+
+}  // namespace fastcommit::consensus
+
+#endif  // FASTCOMMIT_CONSENSUS_PAXOS_CONSENSUS_H_

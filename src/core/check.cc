@@ -1,0 +1,19 @@
+#include "core/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace fastcommit::internal {
+
+CheckFailure::CheckFailure(const char* condition, const char* file, int line) {
+  stream_ << file << ":" << line << ": FC_CHECK failed: " << condition << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::string message = stream_.str();
+  std::fprintf(stderr, "%s\n", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace fastcommit::internal

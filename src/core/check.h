@@ -1,0 +1,42 @@
+#ifndef FASTCOMMIT_CORE_CHECK_H_
+#define FASTCOMMIT_CORE_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace fastcommit::internal {
+
+/// Collects a failure message via `operator<<` and aborts the process in its
+/// destructor. The library is exception-free (invariant violations are
+/// programming errors, not recoverable conditions), so FC_CHECK is the only
+/// failure channel, mirroring the CHECK idiom of production database code.
+class CheckFailure {
+ public:
+  CheckFailure(const char* condition, const char* file, int line);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  [[noreturn]] ~CheckFailure();
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace fastcommit::internal
+
+/// Aborts with a diagnostic when `condition` is false. Usage:
+///   FC_CHECK(x > 0) << "details " << x;
+#define FC_CHECK(condition)                                                 \
+  if (condition) {                                                          \
+  } else /* NOLINT */                                                       \
+    ::fastcommit::internal::CheckFailure(#condition, __FILE__, __LINE__)
+
+/// Unconditional failure for unreachable branches.
+#define FC_FAIL() FC_CHECK(false) << "unreachable: "
+
+#endif  // FASTCOMMIT_CORE_CHECK_H_

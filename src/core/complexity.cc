@@ -1,0 +1,164 @@
+#include "core/complexity.h"
+
+#include "core/check.h"
+
+namespace fastcommit::core {
+
+std::string PropSetName(PropSet props) {
+  if (props == kNoProps) return "-";
+  std::string name;
+  if (props & kAgreement) name += 'A';
+  if (props & kValidity) name += 'V';
+  if (props & kTermination) name += 'T';
+  return name;
+}
+
+bool IsValidCell(Cell cell) {
+  // Y ⊆ X: a property holding in every network-failure execution holds in
+  // every crash-failure execution too.
+  return (cell.network & ~cell.crash) == 0;
+}
+
+std::vector<Cell> AllCells() {
+  std::vector<Cell> cells;
+  for (PropSet network = 0; network <= kAVT; ++network) {
+    for (PropSet crash = 0; crash <= kAVT; ++crash) {
+      Cell cell{crash, network};
+      if (IsValidCell(cell)) cells.push_back(cell);
+    }
+  }
+  FC_CHECK(cells.size() == 27) << "expected 27 cells, got " << cells.size();
+  return cells;
+}
+
+bool LessRobustOrEqual(Cell weaker, Cell stronger) {
+  return (weaker.crash & ~stronger.crash) == 0 &&
+         (weaker.network & ~stronger.network) == 0;
+}
+
+int DelayLowerBound(Cell cell) {
+  FC_CHECK(IsValidCell(cell));
+  if (cell.crash == kAVT && (cell.network & kAgreement) != 0) return 2;
+  return 1;
+}
+
+int64_t MessageLowerBound(Cell cell, int n, int f) {
+  FC_CHECK(IsValidCell(cell));
+  if (cell.crash == kAVT && (cell.network & kAgreement) != 0) {
+    return 2 * int64_t{static_cast<unsigned>(n)} - 2 + f;
+  }
+  if ((cell.network & kValidity) != 0) return 2 * int64_t{n} - 2;
+  if ((cell.crash & kValidity) != 0) return int64_t{n} - 1 + f;
+  return 0;
+}
+
+int64_t TwoDelayMessageLowerBound(int n, int f) {
+  return 2 * int64_t{f} * n;
+}
+
+const char* ProtocolName(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kZeroNbac:
+      return "0NBAC";
+    case ProtocolKind::kOneNbac:
+      return "1NBAC";
+    case ProtocolKind::kAvNbacFast:
+      return "avNBAC(delay-opt)";
+    case ProtocolKind::kAvNbacLean:
+      return "avNBAC(msg-opt)";
+    case ProtocolKind::kANbac:
+      return "aNBAC";
+    case ProtocolKind::kChainNbac:
+      return "(n-1+f)NBAC";
+    case ProtocolKind::kBcastNbac:
+      return "(2n-2)NBAC";
+    case ProtocolKind::kChainAckNbac:
+      return "(2n-2+f)NBAC";
+    case ProtocolKind::kInbac:
+      return "INBAC";
+    case ProtocolKind::kTwoPc:
+      return "2PC";
+    case ProtocolKind::kThreePc:
+      return "3PC";
+    case ProtocolKind::kPaxosCommit:
+      return "PaxosCommit";
+    case ProtocolKind::kFasterPaxosCommit:
+      return "FasterPaxosCommit";
+  }
+  return "?";
+}
+
+bool NeedsConsensus(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kOneNbac:
+    case ProtocolKind::kZeroNbac:
+    case ProtocolKind::kChainAckNbac:
+    case ProtocolKind::kInbac:
+    case ProtocolKind::kThreePc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Cell ProtocolCell(ProtocolKind kind) {
+  switch (kind) {
+    case ProtocolKind::kZeroNbac:
+      return Cell{kAT, kAT};
+    case ProtocolKind::kOneNbac:
+      return Cell{kAVT, kVT};
+    case ProtocolKind::kAvNbacFast:
+    case ProtocolKind::kAvNbacLean:
+      return Cell{kAV, kAV};
+    case ProtocolKind::kANbac:
+      return Cell{kAV, kA};
+    case ProtocolKind::kChainNbac:
+      return Cell{kAVT, kT};
+    case ProtocolKind::kBcastNbac:
+      return Cell{kAVT, kVT};
+    case ProtocolKind::kChainAckNbac:
+    case ProtocolKind::kInbac:
+    case ProtocolKind::kPaxosCommit:
+    case ProtocolKind::kFasterPaxosCommit:
+      return Cell{kAVT, kAVT};
+    case ProtocolKind::kTwoPc:
+      return Cell{kAV, kAV};
+    case ProtocolKind::kThreePc:
+      return Cell{kAVT, kA};
+  }
+  FC_FAIL() << "unknown protocol";
+}
+
+NiceComplexity ExpectedNice(ProtocolKind kind, int n, int f) {
+  int64_t nn = n;
+  int64_t ff = f;
+  switch (kind) {
+    case ProtocolKind::kZeroNbac:
+      return {1, 0};
+    case ProtocolKind::kOneNbac:
+    case ProtocolKind::kAvNbacFast:
+      return {1, nn * nn - nn};
+    case ProtocolKind::kAvNbacLean:
+      return {2, 2 * nn - 2};
+    case ProtocolKind::kANbac:
+    case ProtocolKind::kChainNbac:
+      return {nn + 2 * ff, nn - 1 + ff};
+    case ProtocolKind::kBcastNbac:
+      return {ff + 2, 2 * nn - 2};
+    case ProtocolKind::kChainAckNbac:
+      return {2 * nn + ff - 2, 2 * nn - 2 + ff};
+    case ProtocolKind::kInbac:
+      return {2, 2 * ff * nn};
+    case ProtocolKind::kTwoPc:
+      return {2, 2 * nn - 2};
+    case ProtocolKind::kThreePc:
+      return {4, 4 * nn - 4};
+    case ProtocolKind::kPaxosCommit:
+      return {3, nn * ff + 2 * nn - 2};
+    case ProtocolKind::kFasterPaxosCommit:
+      return {2, 2 * ff * nn + 2 * nn - 2 * ff - 2};
+  }
+  FC_FAIL() << "unknown protocol";
+}
+
+}  // namespace fastcommit::core

@@ -1,0 +1,88 @@
+#ifndef FASTCOMMIT_CORE_COMPLEXITY_H_
+#define FASTCOMMIT_CORE_COMPLEXITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/protocol_kind.h"
+
+namespace fastcommit::core {
+
+/// NBAC properties as a bitmask (paper Definition 1).
+enum Property : uint8_t {
+  kAgreement = 1,
+  kValidity = 2,
+  kTermination = 4,
+};
+
+using PropSet = uint8_t;
+
+inline constexpr PropSet kNoProps = 0;
+inline constexpr PropSet kA = kAgreement;
+inline constexpr PropSet kV = kValidity;
+inline constexpr PropSet kT = kTermination;
+inline constexpr PropSet kAV = kAgreement | kValidity;
+inline constexpr PropSet kAT = kAgreement | kTermination;
+inline constexpr PropSet kVT = kValidity | kTermination;
+inline constexpr PropSet kAVT = kAgreement | kValidity | kTermination;
+
+/// "∅", "A", "AV", ... in the paper's Table 1 notation.
+std::string PropSetName(PropSet props);
+
+/// A cell (X, Y) of Table 1: X required in every crash-failure execution,
+/// Y in every network-failure execution. Because crash-failure executions
+/// are a subset of network-failure executions, a cell is meaningful only
+/// when Y ⊆ X; there are exactly 27 such cells.
+struct Cell {
+  PropSet crash;
+  PropSet network;
+
+  bool operator==(const Cell& other) const {
+    return crash == other.crash && network == other.network;
+  }
+};
+
+bool IsValidCell(Cell cell);
+
+/// All 27 non-empty cells, row-major in Table 1 order.
+std::vector<Cell> AllCells();
+
+/// Robustness partial order: (X, Y) is less robust than (U, V) iff X ⊆ U
+/// and Y ⊆ V (paper Section 1.4).
+bool LessRobustOrEqual(Cell weaker, Cell stronger);
+
+/// Tight lower bound on message delays in nice executions (Theorem 1):
+/// 2 iff X = AVT and A ∈ Y, else 1.
+int DelayLowerBound(Cell cell);
+
+/// Tight lower bound on messages in nice executions (Theorem 2):
+///   2n-2+f  iff X = AVT and A ∈ Y;
+///   2n-2    iff V ∈ Y (validity under network failures, Lemma 3);
+///   n-1+f   iff V ∈ X (validity under crashes, Lemma 2);
+///   0       otherwise.
+int64_t MessageLowerBound(Cell cell, int n, int f);
+
+/// Lower bound on messages for a protocol that solves NBAC in crash-failure
+/// executions, ensures agreement under network failures, *and* decides
+/// within two message delays (Theorem 5): 2fn.
+int64_t TwoDelayMessageLowerBound(int n, int f);
+
+/// The cell each matching protocol of Tables 2/3 occupies. Baselines map to
+/// their de-facto guarantees (2PC: (AV, AV); 3PC: (AVT, A); PaxosCommit and
+/// faster PaxosCommit and INBAC and (2n-2+f)NBAC: (AVT, AVT)).
+Cell ProtocolCell(ProtocolKind kind);
+
+/// Closed-form nice-execution complexity of each protocol under this
+/// repository's measured accounting (EXPERIMENTS.md documents the two spots
+/// where the paper's table prose differs by a constant).
+struct NiceComplexity {
+  int64_t delays = 0;
+  int64_t messages = 0;
+};
+
+NiceComplexity ExpectedNice(ProtocolKind kind, int n, int f);
+
+}  // namespace fastcommit::core
+
+#endif  // FASTCOMMIT_CORE_COMPLEXITY_H_

@@ -1,0 +1,44 @@
+#include "core/properties.h"
+
+#include <algorithm>
+
+namespace fastcommit::core {
+
+bool PropertyReport::Satisfies(PropSet props) const {
+  if ((props & kAgreement) && !agreement) return false;
+  if ((props & kValidity) && !validity()) return false;
+  if ((props & kTermination) && !termination) return false;
+  return true;
+}
+
+PropertyReport CheckProperties(const RunConfig& config,
+                               const RunResult& result) {
+  PropertyReport report;
+
+  bool some_commit = false;
+  bool some_abort = false;
+  for (commit::Decision d : result.decisions) {
+    some_commit |= d == commit::Decision::kCommit;
+    some_abort |= d == commit::Decision::kAbort;
+  }
+  report.agreement = !(some_commit && some_abort);
+
+  bool some_no_vote =
+      !config.votes.empty() &&
+      std::any_of(config.votes.begin(), config.votes.end(),
+                  [](commit::Vote v) { return v == commit::Vote::kNo; });
+
+  report.commit_validity = !some_commit || !some_no_vote;
+  report.abort_validity = !some_abort || some_no_vote || result.AnyFailure();
+  report.termination = result.AllCorrectDecided();
+  return report;
+}
+
+bool NiceExecutionCommitsEverywhere(const RunResult& result) {
+  return std::all_of(result.decisions.begin(), result.decisions.end(),
+                     [](commit::Decision d) {
+                       return d == commit::Decision::kCommit;
+                     });
+}
+
+}  // namespace fastcommit::core

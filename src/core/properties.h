@@ -1,0 +1,39 @@
+#ifndef FASTCOMMIT_CORE_PROPERTIES_H_
+#define FASTCOMMIT_CORE_PROPERTIES_H_
+
+#include "core/complexity.h"
+#include "core/run_result.h"
+#include "core/runner.h"
+
+namespace fastcommit::core {
+
+/// Checks of the three NBAC properties of Definition 1 against a completed
+/// execution trace.
+struct PropertyReport {
+  /// No two processes decided differently — *uniform*: decisions by
+  /// processes that later crashed count too.
+  bool agreement = true;
+  /// Commit-validity: a process decided 1 only if no process proposed 0.
+  bool commit_validity = true;
+  /// Abort-validity: a process decided 0 only if some process proposed 0 or
+  /// a failure (crash or late message) occurred.
+  bool abort_validity = true;
+  /// Every correct process decided.
+  bool termination = true;
+
+  bool validity() const { return commit_validity && abort_validity; }
+
+  /// True if this execution exhibits every property in `props`.
+  bool Satisfies(PropSet props) const;
+};
+
+PropertyReport CheckProperties(const RunConfig& config,
+                               const RunResult& result);
+
+/// Checks that a *nice* execution solved NBAC with the expected outcome
+/// (everybody commits) — the stricter form used by the conformance tests.
+bool NiceExecutionCommitsEverywhere(const RunResult& result);
+
+}  // namespace fastcommit::core
+
+#endif  // FASTCOMMIT_CORE_PROPERTIES_H_

@@ -1,0 +1,103 @@
+#include "core/reachability.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+
+namespace fastcommit::core {
+
+ReachabilityAnalysis::ReachabilityAnalysis(const net::MessageStats& stats,
+                                           int n)
+    : n_(n), stats_(&stats) {
+  for (const net::MessageRecord& r : stats.records()) {
+    if (r.dropped || r.received_at < 0 || r.from == r.to) continue;
+    edges_.push_back(Edge{r.from, r.to, r.sent_at, r.received_at});
+  }
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.received_at < b.received_at;
+  });
+  reach_.reserve(static_cast<size_t>(n));
+  for (int src = 0; src < n; ++src) {
+    reach_.push_back(EarliestArrivals(src, 0));
+  }
+}
+
+std::vector<sim::Time> ReachabilityAnalysis::EarliestArrivals(
+    net::ProcessId src, sim::Time not_before) const {
+  std::vector<sim::Time> earliest(static_cast<size_t>(n_), -1);
+  earliest[static_cast<size_t>(src)] = not_before;
+  // Edges are sorted by arrival; one pass suffices because a chain's
+  // departure must not precede its enabling arrival, and arrivals only
+  // grow along a chain... except for equal-time forwarding, which the
+  // model permits ("leaves later than or at the time at which m_{i-1}
+  // arrives"). A second pass handles equal-instant relays; times are
+  // non-decreasing so two passes reach the fixpoint.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Edge& e : edges_) {
+      sim::Time from_known = earliest[static_cast<size_t>(e.from)];
+      if (from_known < 0 || e.sent_at < from_known) continue;
+      sim::Time& dst = earliest[static_cast<size_t>(e.to)];
+      if (dst < 0 || e.received_at < dst) dst = e.received_at;
+    }
+  }
+  // The source's own entry reports the convention value.
+  earliest[static_cast<size_t>(src)] = not_before;
+  return earliest;
+}
+
+sim::Time ReachabilityAnalysis::ReachTime(net::ProcessId src,
+                                          net::ProcessId dst) const {
+  FC_CHECK(src >= 0 && src < n_ && dst >= 0 && dst < n_) << "bad pid";
+  if (src == dst) return 0;
+  return reach_[static_cast<size_t>(src)][static_cast<size_t>(dst)];
+}
+
+bool ReachabilityAnalysis::Reaches(net::ProcessId src, net::ProcessId dst,
+                                   sim::Time by_time) const {
+  sim::Time t = ReachTime(src, dst);
+  return t >= 0 && t <= by_time;
+}
+
+int ReachabilityAnalysis::CountReachedBy(net::ProcessId src,
+                                         sim::Time by_time) const {
+  int count = 0;
+  for (int q = 0; q < n_; ++q) {
+    if (q != src && Reaches(src, q, by_time)) ++count;
+  }
+  return count;
+}
+
+sim::Time ReachabilityAnalysis::RoundTripTime(net::ProcessId src,
+                                              net::ProcessId dst) const {
+  sim::Time out = ReachTime(src, dst);
+  if (out < 0 || src == dst) return src == dst ? 0 : -1;
+  // Chains from dst whose first message leaves no earlier than the
+  // outbound arrival; transmission delays are >= 1 tick, so a genuine
+  // return arrives strictly after `out` or not at all (-1).
+  std::vector<sim::Time> back = EarliestArrivals(dst, out);
+  return back[static_cast<size_t>(src)];
+}
+
+std::vector<net::ProcessId> ReachabilityAnalysis::AcknowledgedBackups(
+    net::ProcessId p, sim::Time by_time) const {
+  std::vector<net::ProcessId> theta;
+  for (int q = 0; q < n_; ++q) {
+    if (q == p) continue;
+    sim::Time rt = RoundTripTime(p, q);
+    if (rt >= 0 && rt <= by_time) theta.push_back(q);
+  }
+  return theta;
+}
+
+sim::Time ReachabilityAnalysis::LatestSupportingSendTime(
+    net::ProcessId p, sim::Time decide_time) const {
+  sim::Time latest = -1;
+  for (const Edge& e : edges_) {
+    if (e.to == p && e.received_at <= decide_time) {
+      latest = std::max(latest, e.sent_at);
+    }
+  }
+  return latest;
+}
+
+}  // namespace fastcommit::core

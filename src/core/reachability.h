@@ -1,0 +1,75 @@
+#ifndef FASTCOMMIT_CORE_REACHABILITY_H_
+#define FASTCOMMIT_CORE_REACHABILITY_H_
+
+#include <vector>
+
+#include "net/message_stats.h"
+#include "sim/sim_time.h"
+
+namespace fastcommit::core {
+
+/// The paper's "process reachability" (Definitions 2 and 4), computed over
+/// a recorded message trace. P *reaches* Q at time t if a chain of
+/// messages m1..ml exists with source(m1) = P, destination(ml) = Q, each
+/// m_i leaving its source no earlier than m_{i-1}'s arrival, and ml
+/// arriving at t. Reachability is the backbone of every lower-bound proof
+/// in the paper (a reach is an opportunity to back up a vote; a
+/// reach-and-return is an acknowledgement); this class makes those proof
+/// obligations checkable on real executions.
+///
+/// Only delivered, non-self messages participate (a self-addressed message
+/// is a local step and creates no reach, consistent with footnote 10).
+class ReachabilityAnalysis {
+ public:
+  ReachabilityAnalysis(const net::MessageStats& stats, int n);
+
+  /// Earliest time at which `src` has reached `dst` (Definition 2), or -1
+  /// if it never does. ReachTime(p, p) is 0 by convention.
+  sim::Time ReachTime(net::ProcessId src, net::ProcessId dst) const;
+
+  bool Reaches(net::ProcessId src, net::ProcessId dst,
+               sim::Time by_time) const;
+
+  /// Number of *other* processes `src` has reached by `by_time`.
+  int CountReachedBy(net::ProcessId src, sim::Time by_time) const;
+
+  /// Definition 4's round trip: the earliest time at which "src reaches
+  /// dst and subsequently dst reaches src" completes — a chain src→dst
+  /// arriving at τ, then a chain dst→src whose first message leaves no
+  /// earlier than τ. -1 if it never completes. This is the paper's model
+  /// of an acknowledged backup (Lemma 5).
+  sim::Time RoundTripTime(net::ProcessId src, net::ProcessId dst) const;
+
+  /// The set Θ of Lemma 5: processes Q ≠ p such that p reaches Q and
+  /// subsequently Q reaches p, completing by `by_time`.
+  std::vector<net::ProcessId> AcknowledgedBackups(net::ProcessId p,
+                                                  sim::Time by_time) const;
+
+  /// The paper's t2 for a decision at `decide_time` by `p`: the latest
+  /// send instant among messages that arrived at p by `decide_time`
+  /// (Lemmas 1, 4, 5). -1 if p received nothing.
+  sim::Time LatestSupportingSendTime(net::ProcessId p,
+                                     sim::Time decide_time) const;
+
+ private:
+  struct Edge {
+    net::ProcessId from;
+    net::ProcessId to;
+    sim::Time sent_at;
+    sim::Time received_at;
+  };
+
+  /// Earliest chain-arrival times from `src` given that the first message
+  /// of the chain must leave no earlier than `not_before`.
+  std::vector<sim::Time> EarliestArrivals(net::ProcessId src,
+                                          sim::Time not_before) const;
+
+  int n_;
+  std::vector<Edge> edges_;  ///< sorted by received_at
+  std::vector<std::vector<sim::Time>> reach_;  ///< [src][dst], -1 = never
+  const net::MessageStats* stats_;
+};
+
+}  // namespace fastcommit::core
+
+#endif  // FASTCOMMIT_CORE_REACHABILITY_H_

@@ -1,0 +1,30 @@
+#ifndef FASTCOMMIT_CORE_TRACE_H_
+#define FASTCOMMIT_CORE_TRACE_H_
+
+#include <string>
+
+#include "core/run_result.h"
+
+namespace fastcommit::core {
+
+/// Options for rendering an execution timeline.
+struct TraceOptions {
+  /// Maximum number of event lines before truncation.
+  int max_lines = 200;
+  /// Include consensus-channel messages.
+  bool include_consensus = true;
+};
+
+/// Renders a human-readable, chronologically ordered timeline of an
+/// execution: message sends/arrivals (with the protocol-level kind tag),
+/// decisions, and crashes. Times are printed in units of U with tick
+/// remainders. Intended for debugging protocols and for the CLI's --trace.
+std::string FormatTimeline(const RunResult& result,
+                           const TraceOptions& options = {});
+
+/// One-line summary: decisions, delays, messages, properties shorthand.
+std::string FormatSummary(const RunResult& result);
+
+}  // namespace fastcommit::core
+
+#endif  // FASTCOMMIT_CORE_TRACE_H_

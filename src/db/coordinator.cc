@@ -1,0 +1,62 @@
+#include "db/coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+#include "net/delay_model.h"
+
+namespace fastcommit::db {
+
+CommitInstance::CommitInstance(sim::Simulator* simulator,
+                               core::ProtocolKind protocol,
+                               core::ConsensusKind consensus, sim::Time unit,
+                               std::vector<commit::Vote> votes,
+                               DoneCallback done)
+    : simulator_(simulator),
+      n_(static_cast<int>(votes.size())),
+      votes_(std::move(votes)),
+      done_(std::move(done)) {
+  FC_CHECK(n_ >= 2) << "commit instance needs >= 2 participants";
+  int f = std::max(1, n_ - 1 >= 1 ? 1 : 1);
+  // Resilience: tolerate any minority of the touched partitions, at least 1.
+  f = std::max(1, (n_ - 1) / 2);
+
+  network_ = std::make_unique<net::Network>(
+      simulator, n_, std::make_unique<net::FixedDelayModel>(unit));
+
+  sim::Time epoch = simulator->Now();
+  hosts_.reserve(static_cast<size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    hosts_.push_back(std::make_unique<core::Host>(simulator, network_.get(), i,
+                                                  n_, f, unit, epoch));
+  }
+  for (int i = 0; i < n_; ++i) {
+    core::Host* host = hosts_[static_cast<size_t>(i)].get();
+    auto cons = core::MakeConsensus(protocol, consensus,
+                                    host->consensus_env(), n_, f);
+    auto participant =
+        core::MakeProtocol(protocol, host->commit_env(), cons.get());
+    participant->set_on_decide([this](commit::Decision d) {
+      FC_CHECK(decision_ == commit::Decision::kNone || decision_ == d)
+          << "agreement violation inside a commit instance";
+      decision_ = d;
+      if (++decided_count_ == n_) {
+        finish_time_ = simulator_->Now();
+        if (done_) done_(decision_);
+      }
+    });
+    host->Attach(std::move(participant), std::move(cons));
+  }
+}
+
+CommitInstance::~CommitInstance() = default;
+
+void CommitInstance::Start() {
+  start_time_ = simulator_->Now();
+  for (int i = 0; i < n_; ++i) {
+    hosts_[static_cast<size_t>(i)]->Propose(votes_[static_cast<size_t>(i)]);
+  }
+}
+
+}  // namespace fastcommit::db

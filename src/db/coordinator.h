@@ -1,0 +1,64 @@
+#ifndef FASTCOMMIT_DB_COORDINATOR_H_
+#define FASTCOMMIT_DB_COORDINATOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "commit/commit_protocol.h"
+#include "core/host.h"
+#include "core/runner.h"
+#include "db/transaction.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace fastcommit::db {
+
+/// One atomic-commit round among the partitions touched by one transaction.
+///
+/// The instance owns an ephemeral cluster — its own Network and Hosts over
+/// the shared simulator — whose processes 0..n-1 correspond to the touched
+/// partitions in order. The epoch of every host is the instant Start() is
+/// called, so the protocols' absolute-time pseudocode runs unmodified in
+/// the middle of a long database simulation. Instances stay alive until the
+/// database shuts down (pending timer events may still reference them after
+/// the decision; their handlers are no-ops by then).
+class CommitInstance {
+ public:
+  /// Called once, when every process of the instance has decided.
+  using DoneCallback = std::function<void(commit::Decision decision)>;
+
+  CommitInstance(sim::Simulator* simulator, core::ProtocolKind protocol,
+                 core::ConsensusKind consensus, sim::Time unit,
+                 std::vector<commit::Vote> votes, DoneCallback done);
+  CommitInstance(const CommitInstance&) = delete;
+  CommitInstance& operator=(const CommitInstance&) = delete;
+  ~CommitInstance();
+
+  /// Proposes every vote at the current virtual time.
+  void Start();
+
+  bool finished() const { return decided_count_ == n_; }
+  sim::Time start_time() const { return start_time_; }
+  sim::Time finish_time() const { return finish_time_; }
+  /// Network messages this commit exchanged (protocol + consensus).
+  int64_t messages() const { return network_->stats().total_sent(); }
+
+ private:
+  sim::Simulator* simulator_;
+  int n_;
+  std::vector<commit::Vote> votes_;
+  DoneCallback done_;
+
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<core::Host>> hosts_;
+
+  int decided_count_ = 0;
+  commit::Decision decision_ = commit::Decision::kNone;
+  sim::Time start_time_ = -1;
+  sim::Time finish_time_ = -1;
+};
+
+}  // namespace fastcommit::db
+
+#endif  // FASTCOMMIT_DB_COORDINATOR_H_

@@ -1,0 +1,173 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "core/check.h"
+
+namespace fastcommit::db {
+
+double DatabaseStats::MeanLatency() const {
+  if (latencies.empty()) return 0.0;
+  double sum = 0.0;
+  for (sim::Time t : latencies) sum += static_cast<double>(t);
+  return sum / static_cast<double>(latencies.size());
+}
+
+sim::Time DatabaseStats::PercentileLatency(double p) const {
+  if (latencies.empty()) return 0;
+  std::vector<sim::Time> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  size_t index = static_cast<size_t>(rank);
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+Database::Database(const Options& options)
+    : options_(options), rng_(options.seed) {
+  FC_CHECK(options.num_partitions >= 1) << "need at least one partition";
+  partitions_.reserve(static_cast<size_t>(options.num_partitions));
+  for (int i = 0; i < options.num_partitions; ++i) {
+    partitions_.push_back(std::make_unique<Participant>(i));
+  }
+}
+
+Database::~Database() = default;
+
+int Database::PartitionOf(const Key& key) const {
+  return static_cast<int>(std::hash<Key>{}(key) %
+                          static_cast<size_t>(options_.num_partitions));
+}
+
+Participant& Database::partition(int index) {
+  FC_CHECK(index >= 0 && index < options_.num_partitions)
+      << "bad partition index " << index;
+  return *partitions_[static_cast<size_t>(index)];
+}
+
+void Database::Submit(Transaction tx, sim::Time at_ticks) {
+  ++inflight_;
+  PendingTx pending{std::move(tx), 1};
+  simulator_.ScheduleAt(std::max(at_ticks, simulator_.Now()),
+                        sim::EventClass::kControl,
+                        [this, pending = std::move(pending)]() mutable {
+                          Execute(std::move(pending));
+                        });
+}
+
+void Database::Execute(PendingTx pending) {
+  // Route ops to partitions.
+  std::map<int, std::vector<Op>> by_partition;
+  for (const Op& op : pending.tx.ops) {
+    by_partition[PartitionOf(op.key)].push_back(op);
+  }
+  FC_CHECK(!by_partition.empty()) << "empty transaction";
+
+  std::vector<int> touched;
+  std::vector<commit::Vote> votes;
+  touched.reserve(by_partition.size());
+  votes.reserve(by_partition.size());
+  for (const auto& [partition_id, ops] : by_partition) {
+    touched.push_back(partition_id);
+    votes.push_back(partitions_[static_cast<size_t>(partition_id)]->Prepare(
+        pending.tx.id, ops));
+  }
+
+  sim::Time started = simulator_.Now();
+
+  if (touched.size() == 1) {
+    // One-phase commit: the only participant's vote is the decision.
+    commit::Decision d = votes[0] == commit::Vote::kYes
+                             ? commit::Decision::kCommit
+                             : commit::Decision::kAbort;
+    if (d == commit::Decision::kCommit) ++stats_.single_partition;
+    FinishTx(pending, touched, d, started);
+    return;
+  }
+
+  auto instance = std::make_unique<CommitInstance>(
+      &simulator_, options_.protocol, options_.consensus, options_.unit,
+      votes,
+      [this, pending, touched, started](commit::Decision decision) {
+        FinishTx(pending, touched, decision, started);
+      });
+  CommitInstance* raw = instance.get();
+  instances_.push_back(std::move(instance));
+  raw->Start();
+}
+
+void Database::FinishTx(const PendingTx& pending,
+                        const std::vector<int>& touched,
+                        commit::Decision decision, sim::Time started) {
+  for (int partition_id : touched) {
+    partitions_[static_cast<size_t>(partition_id)]->Finish(pending.tx.id,
+                                                           decision);
+  }
+  if (decision == commit::Decision::kCommit) {
+    ++stats_.committed;
+    if (touched.size() > 1) {
+      stats_.latencies.push_back(simulator_.Now() - started);
+    }
+    --inflight_;
+    return;
+  }
+  // Abort: retry with linear backoff, or give up.
+  if (pending.attempt >= options_.max_attempts) {
+    ++stats_.aborted;
+    --inflight_;
+    return;
+  }
+  ++stats_.retries;
+  PendingTx retry{pending.tx, pending.attempt + 1};
+  sim::Time backoff =
+      options_.unit * options_.retry_backoff_units * pending.attempt +
+      static_cast<sim::Time>(rng_.UniformInt(1, options_.unit));
+  simulator_.ScheduleAt(simulator_.Now() + backoff, sim::EventClass::kControl,
+                        [this, retry = std::move(retry)]() mutable {
+                          Execute(std::move(retry));
+                        });
+}
+
+const DatabaseStats& Database::Drain() {
+  simulator_.Run();
+  FC_CHECK(inflight_ == 0) << "transactions still pending after drain";
+  stats_.makespan = simulator_.Now();
+  stats_.commit_messages = 0;
+  for (const auto& instance : instances_) {
+    stats_.commit_messages += instance->messages();
+  }
+  return stats_;
+}
+
+commit::Decision Database::Execute(Transaction tx) {
+  TxId id = tx.id;
+  commit::Decision result = commit::Decision::kNone;
+  // Wrap the stats delta: find the decision by observing committed/aborted.
+  int64_t committed_before = stats_.committed;
+  Submit(std::move(tx), simulator_.Now());
+  Drain();
+  (void)id;
+  result = stats_.committed > committed_before ? commit::Decision::kCommit
+                                               : commit::Decision::kAbort;
+  return result;
+}
+
+int64_t Database::GetInt(const Key& key) {
+  return partitions_[static_cast<size_t>(PartitionOf(key))]->store().GetInt(
+      key);
+}
+
+void Database::LoadInt(const Key& key, int64_t value) {
+  partitions_[static_cast<size_t>(PartitionOf(key))]->store().Put(
+      key, std::to_string(value));
+}
+
+int64_t Database::SumInts() {
+  int64_t sum = 0;
+  for (const auto& partition : partitions_) sum += partition->store().SumInts();
+  return sum;
+}
+
+}  // namespace fastcommit::db

@@ -1,0 +1,47 @@
+#include "db/kv_store.h"
+
+#include <cstdlib>
+
+namespace fastcommit::db {
+
+namespace {
+
+int64_t ParseInt(const Value& value) {
+  if (value.empty()) return 0;
+  return std::strtoll(value.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+std::optional<Value> KvStore::Get(const Key& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KvStore::Put(const Key& key, Value value) {
+  map_[key] = std::move(value);
+}
+
+bool KvStore::Erase(const Key& key) { return map_.erase(key) > 0; }
+
+int64_t KvStore::AddInt(const Key& key, int64_t delta) {
+  int64_t current = GetInt(key);
+  int64_t next = current + delta;
+  map_[key] = std::to_string(next);
+  return next;
+}
+
+int64_t KvStore::GetInt(const Key& key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return 0;
+  return ParseInt(it->second);
+}
+
+int64_t KvStore::SumInts() const {
+  int64_t sum = 0;
+  for (const auto& [key, value] : map_) sum += ParseInt(value);
+  return sum;
+}
+
+}  // namespace fastcommit::db

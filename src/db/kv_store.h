@@ -1,0 +1,41 @@
+#ifndef FASTCOMMIT_DB_KV_STORE_H_
+#define FASTCOMMIT_DB_KV_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "db/transaction.h"
+
+namespace fastcommit::db {
+
+/// In-memory key-value storage for one partition. Values are opaque bytes;
+/// AddInt provides the numeric read-modify-write used by the bank workload.
+class KvStore {
+ public:
+  KvStore() = default;
+
+  std::optional<Value> Get(const Key& key) const;
+  void Put(const Key& key, Value value);
+  bool Erase(const Key& key);
+
+  /// Interprets the stored value (or 0 if absent) as an int64, adds `delta`
+  /// and stores the result. Returns the new value.
+  int64_t AddInt(const Key& key, int64_t delta);
+
+  /// Numeric read; 0 if absent or non-numeric.
+  int64_t GetInt(const Key& key) const;
+
+  size_t size() const { return map_.size(); }
+
+  /// Sum of all numeric values (invariant checks in the bank example).
+  int64_t SumInts() const;
+
+ private:
+  std::unordered_map<Key, Value> map_;
+};
+
+}  // namespace fastcommit::db
+
+#endif  // FASTCOMMIT_DB_KV_STORE_H_

@@ -1,0 +1,63 @@
+#include "db/lock_manager.h"
+
+#include <algorithm>
+
+namespace fastcommit::db {
+
+bool LockManager::TryLockShared(const Key& key, TxId tx) {
+  LockState& state = locks_[key];
+  if (state.exclusive_owner >= 0 && state.exclusive_owner != tx) return false;
+  if (state.exclusive_owner == tx) return true;  // exclusive subsumes shared
+  if (state.shared_owners.insert(tx).second) held_[tx].push_back(key);
+  return true;
+}
+
+bool LockManager::TryLockExclusive(const Key& key, TxId tx) {
+  LockState& state = locks_[key];
+  if (state.exclusive_owner == tx) return true;
+  if (state.exclusive_owner >= 0) return false;
+  // Upgrade allowed only if tx is the sole shared owner.
+  for (TxId owner : state.shared_owners) {
+    if (owner != tx) return false;
+  }
+  bool was_shared = state.shared_owners.erase(tx) > 0;
+  state.exclusive_owner = tx;
+  if (!was_shared) held_[tx].push_back(key);
+  return true;
+}
+
+void LockManager::ReleaseAll(TxId tx) {
+  auto it = held_.find(tx);
+  if (it == held_.end()) return;
+  for (const Key& key : it->second) {
+    auto lock_it = locks_.find(key);
+    if (lock_it == locks_.end()) continue;
+    LockState& state = lock_it->second;
+    if (state.exclusive_owner == tx) state.exclusive_owner = -1;
+    state.shared_owners.erase(tx);
+    if (state.exclusive_owner < 0 && state.shared_owners.empty()) {
+      locks_.erase(lock_it);
+    }
+  }
+  held_.erase(it);
+}
+
+int64_t LockManager::held_locks() const {
+  int64_t count = 0;
+  for (const auto& [tx, keys] : held_) {
+    count += static_cast<int64_t>(keys.size());
+  }
+  return count;
+}
+
+bool LockManager::HoldsExclusive(const Key& key, TxId tx) const {
+  auto it = locks_.find(key);
+  return it != locks_.end() && it->second.exclusive_owner == tx;
+}
+
+bool LockManager::HoldsShared(const Key& key, TxId tx) const {
+  auto it = locks_.find(key);
+  return it != locks_.end() && it->second.shared_owners.count(tx) > 0;
+}
+
+}  // namespace fastcommit::db

@@ -1,0 +1,44 @@
+#ifndef FASTCOMMIT_DB_LOCK_MANAGER_H_
+#define FASTCOMMIT_DB_LOCK_MANAGER_H_
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "db/transaction.h"
+
+namespace fastcommit::db {
+
+/// Per-key shared/exclusive locks with no-wait conflict handling: a
+/// transaction that cannot acquire a lock is voted "no" by the partition
+/// (Helios-style conflict detection — the paper's motivating execution
+/// model), leaving deadlock avoidance to abort-and-retry.
+class LockManager {
+ public:
+  LockManager() = default;
+
+  /// Acquire; returns false on conflict (state unchanged on failure).
+  bool TryLockShared(const Key& key, TxId tx);
+  bool TryLockExclusive(const Key& key, TxId tx);
+
+  /// Releases every lock held by `tx`.
+  void ReleaseAll(TxId tx);
+
+  /// Diagnostics.
+  int64_t held_locks() const;
+  bool HoldsExclusive(const Key& key, TxId tx) const;
+  bool HoldsShared(const Key& key, TxId tx) const;
+
+ private:
+  struct LockState {
+    TxId exclusive_owner = -1;
+    std::set<TxId> shared_owners;
+  };
+
+  std::unordered_map<Key, LockState> locks_;
+  std::unordered_map<TxId, std::vector<Key>> held_;
+};
+
+}  // namespace fastcommit::db
+
+#endif  // FASTCOMMIT_DB_LOCK_MANAGER_H_

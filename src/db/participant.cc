@@ -1,0 +1,50 @@
+#include "db/participant.h"
+
+namespace fastcommit::db {
+
+commit::Vote Participant::Prepare(TxId tx, const std::vector<Op>& local_ops) {
+  ++prepares_;
+  for (const Op& op : local_ops) {
+    bool ok = false;
+    switch (op.type) {
+      case Op::Type::kGet:
+        ok = locks_.TryLockShared(op.key, tx);
+        break;
+      case Op::Type::kPut:
+      case Op::Type::kAdd:
+        ok = locks_.TryLockExclusive(op.key, tx);
+        break;
+    }
+    if (!ok) {
+      ++conflicts_;
+      locks_.ReleaseAll(tx);
+      return commit::Vote::kNo;
+    }
+  }
+  staged_[tx] = local_ops;
+  return commit::Vote::kYes;
+}
+
+void Participant::Finish(TxId tx, commit::Decision decision) {
+  auto it = staged_.find(tx);
+  if (it != staged_.end()) {
+    if (decision == commit::Decision::kCommit) {
+      for (const Op& op : it->second) {
+        switch (op.type) {
+          case Op::Type::kGet:
+            break;
+          case Op::Type::kPut:
+            store_.Put(op.key, op.value);
+            break;
+          case Op::Type::kAdd:
+            store_.AddInt(op.key, op.delta);
+            break;
+        }
+      }
+    }
+    staged_.erase(it);
+  }
+  locks_.ReleaseAll(tx);
+}
+
+}  // namespace fastcommit::db

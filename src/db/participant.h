@@ -1,0 +1,51 @@
+#ifndef FASTCOMMIT_DB_PARTICIPANT_H_
+#define FASTCOMMIT_DB_PARTICIPANT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "commit/commit_protocol.h"
+#include "db/kv_store.h"
+#include "db/lock_manager.h"
+#include "db/transaction.h"
+
+namespace fastcommit::db {
+
+/// One partition (database node): storage + locks + staged writes. The
+/// vote it returns from Prepare is exactly the paper's "local faith of the
+/// transaction": yes if every local lock was acquired, no on any conflict.
+class Participant {
+ public:
+  explicit Participant(int partition_id) : partition_id_(partition_id) {}
+  Participant(const Participant&) = delete;
+  Participant& operator=(const Participant&) = delete;
+
+  /// Attempts to execute the transaction's local ops under locks; stages
+  /// the writes and returns the partition's vote. On a "no" vote all local
+  /// locks of the transaction are dropped immediately.
+  commit::Vote Prepare(TxId tx, const std::vector<Op>& local_ops);
+
+  /// Applies (commit) or discards (abort) the staged writes and releases
+  /// locks. Safe to call for transactions never prepared here.
+  void Finish(TxId tx, commit::Decision decision);
+
+  KvStore& store() { return store_; }
+  const KvStore& store() const { return store_; }
+  LockManager& locks() { return locks_; }
+  int partition_id() const { return partition_id_; }
+
+  int64_t prepares() const { return prepares_; }
+  int64_t conflicts() const { return conflicts_; }
+
+ private:
+  int partition_id_;
+  KvStore store_;
+  LockManager locks_;
+  std::unordered_map<TxId, std::vector<Op>> staged_;
+  int64_t prepares_ = 0;
+  int64_t conflicts_ = 0;
+};
+
+}  // namespace fastcommit::db
+
+#endif  // FASTCOMMIT_DB_PARTICIPANT_H_

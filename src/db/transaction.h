@@ -1,0 +1,44 @@
+#ifndef FASTCOMMIT_DB_TRANSACTION_H_
+#define FASTCOMMIT_DB_TRANSACTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fastcommit::db {
+
+using Key = std::string;
+using Value = std::string;
+using TxId = int64_t;
+
+/// One operation in a transaction. kAdd treats the value as a signed
+/// 64-bit integer delta (the bank-transfer primitive); missing keys read
+/// as 0 for kAdd and as absent for kGet.
+struct Op {
+  enum class Type : uint8_t { kGet, kPut, kAdd };
+
+  Type type = Type::kGet;
+  Key key;
+  Value value;     ///< kPut payload
+  int64_t delta = 0;  ///< kAdd payload
+};
+
+/// A distributed transaction: a flat list of operations, partitioned by key
+/// at execution time. Helios-style execution (paper Section 1): each
+/// partition votes no if the transaction conflicts locally.
+struct Transaction {
+  TxId id = 0;
+  std::vector<Op> ops;
+
+  static Op Get(Key key) { return Op{Op::Type::kGet, std::move(key), {}, 0}; }
+  static Op Put(Key key, Value value) {
+    return Op{Op::Type::kPut, std::move(key), std::move(value), 0};
+  }
+  static Op Add(Key key, int64_t delta) {
+    return Op{Op::Type::kAdd, std::move(key), {}, delta};
+  }
+};
+
+}  // namespace fastcommit::db
+
+#endif  // FASTCOMMIT_DB_TRANSACTION_H_

@@ -1,0 +1,76 @@
+#include "db/workload.h"
+
+#include "core/check.h"
+#include "sim/rng.h"
+
+namespace fastcommit::db {
+
+Key AccountKey(int account) { return "acct:" + std::to_string(account); }
+Key ItemKey(int item) { return "item:" + std::to_string(item); }
+
+std::vector<Transaction> MakeTransferWorkload(int num_txs, int num_accounts,
+                                              int64_t max_amount,
+                                              uint64_t seed) {
+  FC_CHECK(num_accounts >= 2) << "need two accounts to transfer";
+  sim::Rng rng(seed);
+  std::vector<Transaction> txs;
+  txs.reserve(static_cast<size_t>(num_txs));
+  for (int i = 0; i < num_txs; ++i) {
+    int from = static_cast<int>(rng.UniformInt(0, num_accounts - 1));
+    int to = static_cast<int>(rng.UniformInt(0, num_accounts - 2));
+    if (to >= from) ++to;
+    int64_t amount = rng.UniformInt(1, max_amount);
+    Transaction tx;
+    tx.id = i + 1;
+    tx.ops.push_back(Transaction::Add(AccountKey(from), -amount));
+    tx.ops.push_back(Transaction::Add(AccountKey(to), amount));
+    txs.push_back(std::move(tx));
+  }
+  return txs;
+}
+
+std::vector<Transaction> MakeReadModifyWriteWorkload(int num_txs, int num_keys,
+                                                     int keys_per_tx,
+                                                     uint64_t seed) {
+  FC_CHECK(keys_per_tx >= 1 && keys_per_tx <= num_keys) << "bad keys_per_tx";
+  sim::Rng rng(seed);
+  std::vector<Transaction> txs;
+  txs.reserve(static_cast<size_t>(num_txs));
+  for (int i = 0; i < num_txs; ++i) {
+    Transaction tx;
+    tx.id = i + 1;
+    for (int k = 0; k < keys_per_tx; ++k) {
+      int item = static_cast<int>(rng.UniformInt(0, num_keys - 1));
+      tx.ops.push_back(Transaction::Add(ItemKey(item), 1));
+    }
+    txs.push_back(std::move(tx));
+  }
+  return txs;
+}
+
+std::vector<Transaction> MakeHotspotWorkload(int num_txs, int num_keys,
+                                             int keys_per_tx, int hot_keys,
+                                             double hot_probability,
+                                             uint64_t seed) {
+  FC_CHECK(hot_keys >= 1 && hot_keys <= num_keys) << "bad hot_keys";
+  sim::Rng rng(seed);
+  std::vector<Transaction> txs;
+  txs.reserve(static_cast<size_t>(num_txs));
+  for (int i = 0; i < num_txs; ++i) {
+    Transaction tx;
+    tx.id = i + 1;
+    for (int k = 0; k < keys_per_tx; ++k) {
+      int item;
+      if (rng.Chance(hot_probability)) {
+        item = static_cast<int>(rng.UniformInt(0, hot_keys - 1));
+      } else {
+        item = static_cast<int>(rng.UniformInt(hot_keys, num_keys - 1));
+      }
+      tx.ops.push_back(Transaction::Add(ItemKey(item), 1));
+    }
+    txs.push_back(std::move(tx));
+  }
+  return txs;
+}
+
+}  // namespace fastcommit::db

@@ -1,0 +1,37 @@
+#ifndef FASTCOMMIT_DB_WORKLOAD_H_
+#define FASTCOMMIT_DB_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/transaction.h"
+
+namespace fastcommit::db {
+
+/// Key naming shared by the workloads and examples.
+Key AccountKey(int account);
+Key ItemKey(int item);
+
+/// Money movement between random account pairs: each transaction reads and
+/// adjusts two accounts (Add -x / Add +x), conserving the total balance —
+/// the invariant the bank example checks after the run.
+std::vector<Transaction> MakeTransferWorkload(int num_txs, int num_accounts,
+                                              int64_t max_amount,
+                                              uint64_t seed);
+
+/// Uniform read-modify-write over `num_keys` items, `keys_per_tx` ops each.
+std::vector<Transaction> MakeReadModifyWriteWorkload(int num_txs, int num_keys,
+                                                     int keys_per_tx,
+                                                     uint64_t seed);
+
+/// Skewed workload: with probability `hot_probability` an op targets one of
+/// the `hot_keys` items (contention generator for the abort/retry path).
+std::vector<Transaction> MakeHotspotWorkload(int num_txs, int num_keys,
+                                             int keys_per_tx, int hot_keys,
+                                             double hot_probability,
+                                             uint64_t seed);
+
+}  // namespace fastcommit::db
+
+#endif  // FASTCOMMIT_DB_WORKLOAD_H_

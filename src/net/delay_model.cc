@@ -1,0 +1,83 @@
+#include "net/delay_model.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace fastcommit::net {
+
+FixedDelayModel::FixedDelayModel(sim::Time delay) : delay_(delay) {
+  FC_CHECK(delay >= 1) << "delay must be positive";
+}
+
+sim::Time FixedDelayModel::DelayFor(ProcessId /*from*/, ProcessId /*to*/,
+                                    sim::Time /*send_time*/, int64_t /*seq*/) {
+  return delay_;
+}
+
+BoundedRandomDelayModel::BoundedRandomDelayModel(sim::Time min_delay,
+                                                 sim::Time max_delay,
+                                                 uint64_t seed)
+    : min_delay_(min_delay), max_delay_(max_delay), rng_(seed) {
+  FC_CHECK(min_delay >= 1) << "min delay must be positive";
+  FC_CHECK(max_delay >= min_delay) << "empty delay range";
+}
+
+sim::Time BoundedRandomDelayModel::DelayFor(ProcessId /*from*/,
+                                            ProcessId /*to*/,
+                                            sim::Time /*send_time*/,
+                                            int64_t /*seq*/) {
+  return rng_.UniformInt(min_delay_, max_delay_);
+}
+
+GstDelayModel::GstDelayModel(sim::Time u, sim::Time gst,
+                             sim::Time max_before_gst, double late_probability,
+                             uint64_t seed)
+    : u_(u),
+      gst_(gst),
+      max_before_gst_(max_before_gst),
+      late_probability_(late_probability),
+      rng_(seed) {
+  FC_CHECK(u >= 1) << "U must be positive";
+  FC_CHECK(max_before_gst >= u) << "pre-GST bound below U";
+}
+
+sim::Time GstDelayModel::DelayFor(ProcessId /*from*/, ProcessId /*to*/,
+                                  sim::Time send_time, int64_t /*seq*/) {
+  if (send_time < gst_ && rng_.Chance(late_probability_)) {
+    sim::Time delay = rng_.UniformInt(u_ + 1, max_before_gst_);
+    // After GST the bound holds for *transmissions started* after GST; a
+    // pre-GST message may still arrive late, which is exactly the paper's
+    // "network failure": some transmission exceeds U.
+    return delay;
+  }
+  return rng_.UniformInt(1, u_);
+}
+
+ScriptedDelayModel::ScriptedDelayModel(std::unique_ptr<DelayModel> base)
+    : base_(std::move(base)) {
+  FC_CHECK(base_ != nullptr) << "scripted model needs a base model";
+}
+
+void ScriptedDelayModel::AddRule(ProcessId from, ProcessId to,
+                                 sim::Time sent_from, sim::Time sent_to,
+                                 sim::Time delay) {
+  FC_CHECK(delay >= 1) << "delay must be positive";
+  rules_.push_back(Rule{from, to, sent_from, sent_to, delay});
+}
+
+sim::Time ScriptedDelayModel::DelayFor(ProcessId from, ProcessId to,
+                                       sim::Time send_time, int64_t seq) {
+  for (auto it = rules_.rbegin(); it != rules_.rend(); ++it) {
+    const Rule& r = *it;
+    bool from_match = r.from < 0 || r.from == from;
+    bool to_match = r.to < 0 || r.to == to;
+    if (from_match && to_match && send_time >= r.sent_from &&
+        send_time <= r.sent_to) {
+      return r.delay;
+    }
+  }
+  return base_->DelayFor(from, to, send_time, seq);
+}
+
+}  // namespace fastcommit::net

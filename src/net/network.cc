@@ -1,0 +1,81 @@
+#include "net/network.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace fastcommit::net {
+
+Network::Network(sim::Simulator* simulator, int n,
+                 std::unique_ptr<DelayModel> delays)
+    : simulator_(simulator),
+      n_(n),
+      delays_(std::move(delays)),
+      handlers_(static_cast<size_t>(n)),
+      crashed_(static_cast<size_t>(n), false) {
+  FC_CHECK(simulator_ != nullptr);
+  FC_CHECK(n >= 1) << "network needs at least one process";
+  FC_CHECK(delays_ != nullptr);
+}
+
+void Network::RegisterHandler(ProcessId pid, Handler handler) {
+  FC_CHECK(pid >= 0 && pid < n_) << "bad pid " << pid;
+  handlers_[static_cast<size_t>(pid)] = std::move(handler);
+}
+
+void Network::Send(ProcessId from, ProcessId to, Message msg) {
+  FC_CHECK(from >= 0 && from < n_) << "bad sender " << from;
+  FC_CHECK(to >= 0 && to < n_) << "bad receiver " << to;
+  if (crashed_[static_cast<size_t>(from)]) return;
+
+  auto shared = std::make_shared<const Message>(std::move(msg));
+  if (from == to) {
+    // Local step: delivered at the same instant, not a network message
+    // (paper footnote 10). Still goes through the event queue so the current
+    // handler finishes first.
+    simulator_->ScheduleAt(simulator_->Now(), sim::EventClass::kDelivery,
+                           [this, from, to, shared]() {
+                             Deliver(-1, from, to, shared);
+                           });
+    return;
+  }
+
+  sim::Time now = simulator_->Now();
+  int64_t seq = stats_.RecordSend(from, to, now, shared->channel, shared->kind);
+  sim::Time delay = delays_->DelayFor(from, to, now, seq);
+  FC_CHECK(delay >= 1) << "delay model returned non-positive delay";
+  simulator_->ScheduleAt(now + delay, sim::EventClass::kDelivery,
+                         [this, seq, from, to, shared]() {
+                           Deliver(seq, from, to, shared);
+                         });
+}
+
+void Network::Crash(ProcessId pid) {
+  FC_CHECK(pid >= 0 && pid < n_) << "bad pid " << pid;
+  crashed_[static_cast<size_t>(pid)] = true;
+}
+
+bool Network::crashed(ProcessId pid) const {
+  FC_CHECK(pid >= 0 && pid < n_) << "bad pid " << pid;
+  return crashed_[static_cast<size_t>(pid)];
+}
+
+int Network::crash_count() const {
+  int count = 0;
+  for (bool c : crashed_) count += c ? 1 : 0;
+  return count;
+}
+
+void Network::Deliver(int64_t seq, ProcessId from, ProcessId to,
+                      std::shared_ptr<const Message> msg) {
+  if (crashed_[static_cast<size_t>(to)]) {
+    if (seq >= 0) stats_.RecordDrop(seq, simulator_->Now());
+    return;
+  }
+  if (seq >= 0) stats_.RecordDelivery(seq, simulator_->Now());
+  const Handler& handler = handlers_[static_cast<size_t>(to)];
+  FC_CHECK(handler != nullptr) << "no handler registered for process " << to;
+  handler(from, *msg);
+}
+
+}  // namespace fastcommit::net

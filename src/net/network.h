@@ -1,0 +1,64 @@
+#ifndef FASTCOMMIT_NET_NETWORK_H_
+#define FASTCOMMIT_NET_NETWORK_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/delay_model.h"
+#include "net/message.h"
+#include "net/message_stats.h"
+#include "sim/simulator.h"
+
+namespace fastcommit::net {
+
+/// Perfect point-to-point links over the simulator.
+///
+/// Guarantees of the paper's channel model (Section 2.1): no modification,
+/// injection, duplication or loss — every message sent to a non-crashed
+/// process is eventually received, after the delay chosen by the DelayModel.
+/// Crash semantics: a crashed process sends nothing and receives nothing
+/// (messages in flight to it are dropped at delivery time, which is
+/// equivalent to the receiver ignoring them forever).
+///
+/// Self-addressed messages are delivered at the same instant (local step,
+/// zero delay) and do not appear in the statistics.
+class Network {
+ public:
+  using Handler = std::function<void(ProcessId from, const Message&)>;
+
+  Network(sim::Simulator* simulator, int n, std::unique_ptr<DelayModel> delays);
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Installs the delivery handler of process `pid`.
+  void RegisterHandler(ProcessId pid, Handler handler);
+
+  /// Sends `msg` from `from` to `to`. No-op if `from` has crashed.
+  void Send(ProcessId from, ProcessId to, Message msg);
+
+  /// Marks `pid` crashed as of the current instant.
+  void Crash(ProcessId pid);
+
+  bool crashed(ProcessId pid) const;
+  int crash_count() const;
+  int n() const { return n_; }
+
+  MessageStats& stats() { return stats_; }
+  const MessageStats& stats() const { return stats_; }
+
+ private:
+  void Deliver(int64_t seq, ProcessId from, ProcessId to,
+               std::shared_ptr<const Message> msg);
+
+  sim::Simulator* simulator_;
+  int n_;
+  std::unique_ptr<DelayModel> delays_;
+  std::vector<Handler> handlers_;
+  std::vector<bool> crashed_;
+  MessageStats stats_;
+};
+
+}  // namespace fastcommit::net
+
+#endif  // FASTCOMMIT_NET_NETWORK_H_

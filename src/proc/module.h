@@ -1,0 +1,27 @@
+#ifndef FASTCOMMIT_PROC_MODULE_H_
+#define FASTCOMMIT_PROC_MODULE_H_
+
+#include <cstdint>
+
+#include "net/message.h"
+
+namespace fastcommit::proc {
+
+/// An event-handler component in the style of Cachin/Guerraoui/Rodrigues
+/// pseudocode (the notation the paper's appendices use): a module reacts to
+/// message deliveries and timer expiries, possibly triggering new sends and
+/// timers through its ProcessEnv.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// <pl, Deliver | from, m>
+  virtual void OnMessage(net::ProcessId from, const net::Message& m) = 0;
+
+  /// <timer, Timeout> with the tag the timer was set with.
+  virtual void OnTimer(int64_t tag) = 0;
+};
+
+}  // namespace fastcommit::proc
+
+#endif  // FASTCOMMIT_PROC_MODULE_H_

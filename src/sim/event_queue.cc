@@ -1,0 +1,24 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace fastcommit::sim {
+
+void EventQueue::Push(Time at, EventClass cls, std::function<void()> fn) {
+  Event e;
+  e.at = at;
+  e.cls = cls;
+  e.seq = next_seq_++;
+  e.fn = std::move(fn);
+  heap_.push(std::move(e));
+}
+
+Event EventQueue::Pop() {
+  // std::priority_queue::top() returns a const reference; the function
+  // object must be moved out via a copy of the top element.
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace fastcommit::sim

@@ -1,0 +1,45 @@
+#ifndef FASTCOMMIT_SIM_RNG_H_
+#define FASTCOMMIT_SIM_RNG_H_
+
+#include <cstdint>
+
+namespace fastcommit::sim {
+
+/// Deterministic 64-bit RNG (splitmix64). Every randomized component of an
+/// execution (random delays, workload generation) derives from one seed so
+/// runs are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive); requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability `p`.
+  bool Chance(double p) { return UniformDouble() < p; }
+
+  /// Forks an independent stream (e.g., one per process) deterministically.
+  Rng Fork() { return Rng(Next()); }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace fastcommit::sim
+
+#endif  // FASTCOMMIT_SIM_RNG_H_

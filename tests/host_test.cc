@@ -1,0 +1,187 @@
+// Tests of the process-hosting layer: channel multiplexing between a
+// commit protocol and its consensus module, timer epochs (the database
+// layer starts commit instances mid-simulation), crash suppression, and
+// the CommitProtocol base-class helpers.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "commit/commit_protocol.h"
+#include "consensus/consensus.h"
+#include "core/host.h"
+#include "net/delay_model.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace fastcommit::core {
+namespace {
+
+/// Minimal recording protocol: logs every event it sees.
+class RecordingProtocol : public commit::CommitProtocol {
+ public:
+  explicit RecordingProtocol(proc::ProcessEnv* env)
+      : CommitProtocol(env, nullptr) {}
+
+  void Propose(commit::Vote) override {
+    events.push_back("propose@" + std::to_string(env_->Now()));
+  }
+  void OnMessage(net::ProcessId from, const net::Message& m) override {
+    events.push_back("msg:" + std::to_string(from) + ":kind" +
+                     std::to_string(m.kind) + "@" +
+                     std::to_string(env_->Now()));
+  }
+  void OnTimer(int64_t tag) override {
+    events.push_back("timer:" + std::to_string(tag) + "@" +
+                     std::to_string(env_->Now()));
+  }
+
+  using CommitProtocol::Decide;  // exposed for the integrity test
+  using CommitProtocol::SendAll;
+  using CommitProtocol::SendOthers;
+  using CommitProtocol::SendTo;
+
+  proc::ProcessEnv* env() { return env_; }
+
+  std::vector<std::string> events;
+};
+
+/// Minimal recording consensus.
+class RecordingConsensus : public consensus::Consensus {
+ public:
+  explicit RecordingConsensus(proc::ProcessEnv* env) : Consensus(env) {}
+  void Propose(int) override {}
+  void OnMessage(net::ProcessId, const net::Message& m) override {
+    kinds.push_back(m.kind);
+  }
+  void OnTimer(int64_t tag) override { timer_tags.push_back(tag); }
+
+  using Consensus::DeliverDecision;
+
+  std::vector<int> kinds;
+  std::vector<int64_t> timer_tags;
+};
+
+struct Cluster {
+  explicit Cluster(int n, sim::Time epoch = 0) {
+    network = std::make_unique<net::Network>(
+        &simulator, n, std::make_unique<net::FixedDelayModel>(100));
+    for (int i = 0; i < n; ++i) {
+      hosts.push_back(std::make_unique<Host>(&simulator, network.get(), i, n,
+                                             1, 100, epoch));
+      auto cons = std::make_unique<RecordingConsensus>(
+          hosts.back()->consensus_env());
+      auto protocol = std::make_unique<RecordingProtocol>(
+          hosts.back()->commit_env());
+      protocols.push_back(protocol.get());
+      consensuses.push_back(cons.get());
+      hosts.back()->Attach(std::move(protocol), std::move(cons));
+    }
+  }
+
+  sim::Simulator simulator;
+  std::unique_ptr<net::Network> network;
+  std::vector<std::unique_ptr<Host>> hosts;
+  std::vector<RecordingProtocol*> protocols;
+  std::vector<RecordingConsensus*> consensuses;
+};
+
+TEST(HostTest, RoutesChannelsToTheRightModule) {
+  Cluster cluster(2);
+  net::Message commit_msg;
+  commit_msg.kind = 7;
+  cluster.protocols[0]->env()->Send(1, commit_msg);
+
+  net::Message cons_msg;
+  cons_msg.kind = 9;
+  cluster.hosts[0]->consensus_env()->Send(1, cons_msg);
+
+  cluster.simulator.Run();
+  ASSERT_EQ(cluster.protocols[1]->events.size(), 1u);
+  EXPECT_EQ(cluster.protocols[1]->events[0], "msg:0:kind7@100");
+  ASSERT_EQ(cluster.consensuses[1]->kinds.size(), 1u);
+  EXPECT_EQ(cluster.consensuses[1]->kinds[0], 9);
+}
+
+TEST(HostTest, TimerTagsStayWithinTheirChannel) {
+  Cluster cluster(1);
+  cluster.hosts[0]->commit_env()->SetTimerAtUnits(2, 42);
+  cluster.hosts[0]->consensus_env()->SetTimerAtUnits(3, 43);
+  cluster.simulator.Run();
+  ASSERT_EQ(cluster.protocols[0]->events.size(), 1u);
+  EXPECT_EQ(cluster.protocols[0]->events[0], "timer:42@200");
+  ASSERT_EQ(cluster.consensuses[0]->timer_tags.size(), 1u);
+  EXPECT_EQ(cluster.consensuses[0]->timer_tags[0], 43);
+}
+
+TEST(HostTest, EpochShiftsAllTimers) {
+  Cluster cluster(1, /*epoch=*/5000);
+  cluster.hosts[0]->commit_env()->SetTimerAtUnits(1, 1);
+  cluster.hosts[0]->commit_env()->SetTimerAtTicks(250, 2);
+  cluster.simulator.Run();
+  ASSERT_EQ(cluster.protocols[0]->events.size(), 2u);
+  EXPECT_EQ(cluster.protocols[0]->events[0], "timer:1@5100");
+  EXPECT_EQ(cluster.protocols[0]->events[1], "timer:2@5250");
+}
+
+TEST(HostTest, CrashSuppressesDeliveriesAndTimers) {
+  Cluster cluster(2);
+  net::Message m;
+  m.kind = 1;
+  cluster.protocols[0]->env()->Send(1, m);
+  cluster.hosts[1]->commit_env()->SetTimerAtUnits(2, 9);
+  cluster.simulator.ScheduleAt(50, sim::EventClass::kCrash,
+                               [&] { cluster.hosts[1]->Crash(); });
+  cluster.simulator.Run();
+  EXPECT_TRUE(cluster.protocols[1]->events.empty());
+  EXPECT_TRUE(cluster.hosts[1]->crashed());
+}
+
+TEST(HostTest, ConsensusDecisionReachesTheProtocol) {
+  // The host wires <uc, Decide> into OnConsensusDecide, whose default
+  // decides the protocol if it hasn't yet.
+  Cluster cluster(1);
+  cluster.consensuses[0]->DeliverDecision(1);
+  EXPECT_EQ(cluster.protocols[0]->decision(), commit::Decision::kCommit);
+}
+
+TEST(CommitProtocolBaseTest, SendHelpersCoverTheRightSets) {
+  Cluster cluster(3);
+  net::Message m;
+  m.kind = 5;
+  cluster.protocols[0]->SendAll(m);     // 2 network + 1 self
+  cluster.protocols[0]->SendOthers(m);  // 2 network
+  cluster.simulator.Run();
+  EXPECT_EQ(cluster.network->stats().total_sent(), 4);
+  // Self-delivery of SendAll arrived locally.
+  ASSERT_EQ(cluster.protocols[0]->events.size(), 1u);
+  EXPECT_EQ(cluster.protocols[0]->events[0], "msg:0:kind5@0");
+}
+
+TEST(CommitProtocolBaseTest, DecisionConversions) {
+  EXPECT_EQ(commit::DecisionFromValue(0), commit::Decision::kAbort);
+  EXPECT_EQ(commit::DecisionFromValue(1), commit::Decision::kCommit);
+  EXPECT_EQ(commit::DecisionValue(commit::Decision::kCommit), 1);
+  EXPECT_EQ(commit::DecisionValue(commit::Decision::kAbort), 0);
+  EXPECT_STREQ(commit::ToString(commit::Decision::kNone), "none");
+  EXPECT_STREQ(commit::ToString(commit::Vote::kYes), "yes");
+  EXPECT_STREQ(commit::ToString(commit::Vote::kNo), "no");
+}
+
+TEST(CommitProtocolBaseTest, DecideCallbackFiresOnce) {
+  Cluster cluster(1);
+  int fired = 0;
+  cluster.protocols[0]->set_on_decide(
+      [&](commit::Decision) { ++fired; });
+  cluster.protocols[0]->Decide(commit::Decision::kCommit);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(cluster.protocols[0]->has_decided());
+  // The consensus default path must not decide again.
+  cluster.consensuses[0]->DeliverDecision(0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(cluster.protocols[0]->decision(), commit::Decision::kCommit);
+}
+
+}  // namespace
+}  // namespace fastcommit::core

@@ -1,0 +1,120 @@
+// Tests for the INBAC extensions: the Section-5.2 fast-abort acceleration
+// and the disaggregated-acknowledgement ablation.
+
+#include <gtest/gtest.h>
+
+#include "core/properties.h"
+#include "core/runner.h"
+
+namespace fastcommit::core {
+namespace {
+
+using commit::Decision;
+using commit::Vote;
+
+// ---------------------------------------------------------- fast abort --
+
+TEST(InbacFastAbortTest, FailureFreeAbortFinishesInOneDelay) {
+  // Section 5.2: "a failure-free execution in which some process votes 0
+  // can terminate at the end of the first message delay, which is faster
+  // than any nice execution."
+  RunConfig config = MakeNiceConfig(ProtocolKind::kInbac, 5, 2);
+  config.inbac_fast_abort = true;
+  config.votes = {Vote::kYes, Vote::kYes, Vote::kNo, Vote::kYes, Vote::kYes};
+  RunResult result = fastcommit::core::Run(config);
+  for (Decision d : result.decisions) EXPECT_EQ(d, Decision::kAbort);
+  // The 0-voter decides instantly; everyone else within one delay.
+  EXPECT_EQ(result.decide_times[2], 0);
+  for (int i : {0, 1, 3, 4}) {
+    EXPECT_EQ(result.decide_times[static_cast<size_t>(i)], result.unit);
+  }
+}
+
+TEST(InbacFastAbortTest, NiceExecutionUnchanged) {
+  RunConfig config = MakeNiceConfig(ProtocolKind::kInbac, 6, 2);
+  config.inbac_fast_abort = true;
+  RunResult result = fastcommit::core::Run(config);
+  EXPECT_EQ(result.MessageDelays(), 2);
+  EXPECT_EQ(result.PaperMessageCount(), 2 * 2 * 6);
+  for (Decision d : result.decisions) EXPECT_EQ(d, Decision::kCommit);
+}
+
+TEST(InbacFastAbortTest, PropertiesHoldAcrossFailureSweep) {
+  for (uint64_t seed = 1; seed <= 40; ++seed) {
+    RunConfig config = MakeNetworkFailureConfig(ProtocolKind::kInbac, 5, 2,
+                                                seed);
+    config.inbac_fast_abort = true;
+    config.votes.assign(5, Vote::kYes);
+    if (seed % 2 == 0) config.votes[seed % 5] = Vote::kNo;
+    if (seed % 3 == 0) {
+      config.crashes = {CrashSpec{static_cast<int>(seed % 5), 1, 13}};
+    }
+    RunResult result = fastcommit::core::Run(config);
+    PropertyReport report = CheckProperties(config, result);
+    EXPECT_TRUE(report.agreement) << "seed " << seed;
+    EXPECT_TRUE(report.validity()) << "seed " << seed;
+    EXPECT_TRUE(report.termination) << "seed " << seed;
+  }
+}
+
+TEST(InbacFastAbortTest, AborterCrashImmediatelyAfterDecidingIsUniform) {
+  // The 0-voter decides at time 0 and dies; its broadcast is already on
+  // the wire (channels do not lose messages), so the survivors abort too.
+  RunConfig config = MakeNiceConfig(ProtocolKind::kInbac, 4, 1);
+  config.inbac_fast_abort = true;
+  config.votes = {Vote::kNo, Vote::kYes, Vote::kYes, Vote::kYes};
+  config.crashes = {CrashSpec{0, 0, 1}};
+  RunResult result = fastcommit::core::Run(config);
+  PropertyReport report = CheckProperties(config, result);
+  EXPECT_TRUE(report.agreement);
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(result.decisions[static_cast<size_t>(i)], Decision::kAbort);
+  }
+}
+
+// ----------------------------------------------------------- split acks --
+
+TEST(InbacSplitAcksTest, SameDecisionsManyMoreMessages) {
+  RunConfig aggregated = MakeNiceConfig(ProtocolKind::kInbac, 6, 2);
+  RunConfig split = aggregated;
+  split.inbac_split_acks = true;
+
+  RunResult a = fastcommit::core::Run(aggregated);
+  RunResult s = fastcommit::core::Run(split);
+
+  for (size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(a.decisions[i], s.decisions[i]);
+    EXPECT_EQ(a.decide_times[i], s.decide_times[i]);
+  }
+  // Aggregation is what keeps INBAC at 2fn: the vote round is unchanged
+  // (fn) but the ack round explodes from fn to ~fn * n.
+  int64_t fn = 2 * 6;
+  EXPECT_EQ(a.PaperMessageCount(), 2 * fn);
+  EXPECT_EQ(s.PaperMessageCount(), fn + 2 * (6 - 1) * 6 + 2 * 2);
+  EXPECT_GT(s.PaperMessageCount(), 2 * a.PaperMessageCount());
+}
+
+TEST(InbacSplitAcksTest, StillDelayOptimal) {
+  RunConfig config = MakeNiceConfig(ProtocolKind::kInbac, 5, 2);
+  config.inbac_split_acks = true;
+  RunResult result = fastcommit::core::Run(config);
+  EXPECT_EQ(result.MessageDelays(), 2);
+}
+
+TEST(InbacSplitAcksTest, PropertiesSurviveFragmentReordering) {
+  // Fragments from one backup may arrive interleaved with everything
+  // else; the protocol must still satisfy NBAC under network failures.
+  for (uint64_t seed = 1; seed <= 30; ++seed) {
+    RunConfig config = MakeNetworkFailureConfig(ProtocolKind::kInbac, 5, 2,
+                                                seed);
+    config.inbac_split_acks = true;
+    RunResult result = fastcommit::core::Run(config);
+    PropertyReport report = CheckProperties(config, result);
+    EXPECT_TRUE(report.agreement) << "seed " << seed;
+    EXPECT_TRUE(report.validity()) << "seed " << seed;
+    EXPECT_TRUE(report.termination) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace fastcommit::core

@@ -1,0 +1,193 @@
+// Property-based sweeps: every protocol must satisfy its Table-1 cell —
+// its crash property set in randomized crash-failure (synchronous)
+// executions and its network property set in randomized network-failure
+// (eventually synchronous) executions, across seeds, votes, crash patterns
+// and system sizes.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/complexity.h"
+#include "core/properties.h"
+#include "core/runner.h"
+#include "sim/rng.h"
+
+namespace fastcommit::core {
+namespace {
+
+struct SweepCase {
+  ProtocolKind protocol;
+  int n;
+  int f;
+  uint64_t seed;
+};
+
+std::string SweepName(const ::testing::TestParamInfo<SweepCase>& info) {
+  std::string name = ProtocolName(info.param.protocol);
+  std::string clean;
+  for (char ch : name) {
+    if (std::isalnum(static_cast<unsigned char>(ch))) clean += ch;
+  }
+  return clean + "_n" + std::to_string(info.param.n) + "_f" +
+         std::to_string(info.param.f) + "_s" + std::to_string(info.param.seed);
+}
+
+/// Randomizes votes: half the runs all-yes, otherwise i.i.d. yes w.p. 0.8.
+std::vector<commit::Vote> RandomVotes(int n, sim::Rng* rng) {
+  std::vector<commit::Vote> votes(static_cast<size_t>(n), commit::Vote::kYes);
+  if (rng->Chance(0.5)) return votes;
+  for (auto& v : votes) {
+    v = rng->Chance(0.8) ? commit::Vote::kYes : commit::Vote::kNo;
+  }
+  return votes;
+}
+
+/// Up to `max_crashes` distinct processes crash at random instants within
+/// the protocol's active window.
+std::vector<CrashSpec> RandomCrashes(int n, int max_crashes,
+                                     int64_t window_units, sim::Rng* rng) {
+  int count = static_cast<int>(rng->UniformInt(0, max_crashes));
+  std::vector<bool> used(static_cast<size_t>(n), false);
+  std::vector<CrashSpec> crashes;
+  for (int i = 0; i < count; ++i) {
+    int pid = static_cast<int>(rng->UniformInt(0, n - 1));
+    if (used[static_cast<size_t>(pid)]) continue;
+    used[static_cast<size_t>(pid)] = true;
+    CrashSpec crash;
+    crash.pid = pid;
+    crash.at_units = rng->UniformInt(0, window_units);
+    crash.at_extra_ticks = rng->UniformInt(0, 99);
+    crashes.push_back(crash);
+  }
+  return crashes;
+}
+
+class CrashFailureSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(CrashFailureSweep, SatisfiesCellCrashProperties) {
+  const SweepCase& c = GetParam();
+  sim::Rng rng(c.seed * 7919 + static_cast<uint64_t>(c.n) * 131 +
+               static_cast<uint64_t>(c.f));
+
+  RunConfig config;
+  config.protocol = c.protocol;
+  config.n = c.n;
+  config.f = c.f;
+  config.votes = RandomVotes(c.n, &rng);
+  config.crashes =
+      RandomCrashes(c.n, c.f, 2 * c.n + 2 * c.f + 2, &rng);
+  config.delays.kind = DelaySpec::Kind::kBoundedRandom;
+  // Flooding consensus tolerates any f in the synchronous model, which is
+  // exactly the crash-failure system.
+  config.consensus = ConsensusKind::kFlooding;
+  // Gray-Lamport liveness: the Paxos-Commit comparators need an acceptor
+  // majority to survive f crashes (the sweep generator already excludes
+  // configurations where 2f+1 > n for them).
+  config.paxos_commit_acceptors = std::min(2 * c.f + 1, c.n);
+  config.seed = rng.Next();
+
+  RunResult result = fastcommit::core::Run(config);
+  EXPECT_FALSE(result.deadline_reached)
+      << "simulation did not quiesce for " << ProtocolName(c.protocol);
+
+  PropertyReport report = CheckProperties(config, result);
+  Cell cell = ProtocolCell(c.protocol);
+  EXPECT_TRUE(report.Satisfies(cell.crash))
+      << ProtocolName(c.protocol) << " n=" << c.n << " f=" << c.f
+      << " seed=" << c.seed << " A=" << report.agreement
+      << " V=" << report.validity() << " T=" << report.termination;
+}
+
+class NetworkFailureSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(NetworkFailureSweep, SatisfiesCellNetworkProperties) {
+  const SweepCase& c = GetParam();
+  sim::Rng rng(c.seed * 104729 + static_cast<uint64_t>(c.n) * 17 +
+               static_cast<uint64_t>(c.f));
+
+  RunConfig config;
+  config.protocol = c.protocol;
+  config.n = c.n;
+  config.f = c.f;
+  config.votes = RandomVotes(c.n, &rng);
+  config.crashes =
+      RandomCrashes(c.n, c.f, 2 * c.n + 2 * c.f + 2, &rng);
+  config.delays.kind = DelaySpec::Kind::kGst;
+  config.delays.gst_units = 8 + rng.UniformInt(0, 8);
+  config.delays.max_delay_units = 4 + rng.UniformInt(0, 12);
+  config.delays.late_probability = 0.2 + 0.5 * rng.UniformDouble();
+  config.consensus = ConsensusKind::kPaxos;
+  // Gray-Lamport liveness for the Paxos-Commit comparators: enough
+  // acceptors that f crashes leave a majority.
+  config.paxos_commit_acceptors = std::min(2 * c.f + 1, c.n);
+  config.seed = rng.Next();
+
+  RunResult result = fastcommit::core::Run(config);
+  Cell cell = ProtocolCell(c.protocol);
+  if ((cell.network & kTermination) != 0) {
+    // Where termination is promised, the run must also quiesce (an
+    // under-resourced consensus would keep scheduling rounds forever).
+    EXPECT_FALSE(result.deadline_reached)
+        << "simulation did not quiesce for " << ProtocolName(c.protocol);
+  }
+
+  PropertyReport report = CheckProperties(config, result);
+  EXPECT_TRUE(report.Satisfies(cell.network))
+      << ProtocolName(c.protocol) << " n=" << c.n << " f=" << c.f
+      << " seed=" << c.seed << " A=" << report.agreement
+      << " V=" << report.validity() << " T=" << report.termination;
+}
+
+std::vector<SweepCase> CrashCases() {
+  std::vector<SweepCase> cases;
+  for (ProtocolKind kind : kAllProtocols) {
+    if (kind == ProtocolKind::kTwoPc) continue;  // blocking: no crash cell
+    for (int n : {3, 4, 6}) {
+      for (int f = 1; f <= n - 1; ++f) {
+        // The Paxos-Commit comparators can only promise termination under
+        // f crashes with 2f+1 acceptors (Gray & Lamport); skip
+        // configurations where that many do not exist.
+        bool acceptor_bound = kind == ProtocolKind::kPaxosCommit ||
+                              kind == ProtocolKind::kFasterPaxosCommit;
+        if (acceptor_bound && 2 * f + 1 > n) continue;
+        for (uint64_t seed = 1; seed <= 8; ++seed) {
+          cases.push_back(SweepCase{kind, n, f, seed});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+std::vector<SweepCase> NetworkCases() {
+  std::vector<SweepCase> cases;
+  for (ProtocolKind kind : kAllProtocols) {
+    for (int n : {3, 4, 6, 7}) {
+      for (int f = 1; f <= n - 1; ++f) {
+        // Termination under network failures needs a correct majority for
+        // the consensus-backed protocols (the standard indulgent
+        // assumption); restrict those configurations accordingly.
+        Cell cell = ProtocolCell(kind);
+        bool needs_majority =
+            (cell.network & kTermination) != 0 &&
+            (NeedsConsensus(kind) || kind == ProtocolKind::kPaxosCommit ||
+             kind == ProtocolKind::kFasterPaxosCommit);
+        if (needs_majority && 2 * f + 1 > n) continue;
+        for (uint64_t seed = 1; seed <= 6; ++seed) {
+          cases.push_back(SweepCase{kind, n, f, seed});
+        }
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, CrashFailureSweep,
+                         ::testing::ValuesIn(CrashCases()), SweepName);
+INSTANTIATE_TEST_SUITE_P(AllProtocols, NetworkFailureSweep,
+                         ::testing::ValuesIn(NetworkCases()), SweepName);
+
+}  // namespace
+}  // namespace fastcommit::core

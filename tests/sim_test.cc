@@ -1,0 +1,143 @@
+// Unit tests for the discrete-event kernel: ordering, priorities,
+// determinism, RNG.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace fastcommit::sim {
+namespace {
+
+TEST(EventQueueTest, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(30, EventClass::kDelivery, [&] { order.push_back(3); });
+  q.Push(10, EventClass::kDelivery, [&] { order.push_back(1); });
+  q.Push(20, EventClass::kDelivery, [&] { order.push_back(2); });
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, DeliveryBeforeTimerAtSameInstant) {
+  // Paper Appendix A remark (b): delivery has priority over timeout.
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(10, EventClass::kTimer, [&] { order.push_back(2); });
+  q.Push(10, EventClass::kDelivery, [&] { order.push_back(1); });
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueueTest, CrashPrecedesEverythingAtSameInstant) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Push(10, EventClass::kTimer, [&] { order.push_back(3); });
+  q.Push(10, EventClass::kDelivery, [&] { order.push_back(2); });
+  q.Push(10, EventClass::kCrash, [&] { order.push_back(1); });
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, InsertionOrderBreaksTies) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.Push(5, EventClass::kDelivery, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.Pop().fn();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, AdvancesClockToEventTime) {
+  Simulator s;
+  Time seen = -1;
+  s.ScheduleAt(42, EventClass::kControl, [&] { seen = s.Now(); });
+  s.Run();
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(s.Now(), 42);
+}
+
+TEST(SimulatorTest, ScheduleAfterUsesCurrentTime) {
+  Simulator s;
+  Time seen = -1;
+  s.ScheduleAt(10, EventClass::kControl, [&] {
+    s.ScheduleAfter(5, EventClass::kControl, [&] { seen = s.Now(); });
+  });
+  s.Run();
+  EXPECT_EQ(seen, 15);
+}
+
+TEST(SimulatorTest, RespectsDeadline) {
+  Simulator s;
+  int fired = 0;
+  s.ScheduleAt(10, EventClass::kControl, [&] { ++fired; });
+  s.ScheduleAt(20, EventClass::kControl, [&] { ++fired; });
+  s.Run(15);
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(s.idle());
+  s.Run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(SimulatorTest, CountsEvents) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) {
+    s.ScheduleAt(i, EventClass::kControl, [] {});
+  }
+  EXPECT_EQ(s.Run(), 7);
+  EXPECT_EQ(s.events_executed(), 7);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(12345);
+  Rng b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int differing = 0;
+  for (int i = 0; i < 32; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 24);
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  bool seen[5] = {};
+  for (int i = 0; i < 500; ++i) seen[rng.UniformInt(0, 4)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng fork = a.Fork();
+  EXPECT_NE(a.Next(), fork.Next());
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FALSE(rng.Chance(0.0));
+    EXPECT_TRUE(rng.Chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace fastcommit::sim
