@@ -24,7 +24,7 @@ void PrintMessageScaling() {
   PrintRule();
   for (int b = 1; b <= 4; ++b) {
     core::RunConfig config = core::MakeNiceConfig(ProtocolKind::kInbac, 8, 4);
-    config.inbac_num_backups = b;
+    config.protocol_options.inbac_num_backups = b;
     core::RunResult result = core::Run(config);
     std::printf("%8d %10lld %10d %10lld\n", b,
                 static_cast<long long>(result.PaperMessageCount()), 2 * b * 8,
@@ -42,7 +42,7 @@ void PrintAckAggregation() {
     core::RunConfig aggregated = core::MakeNiceConfig(ProtocolKind::kInbac,
                                                       n, f);
     core::RunConfig split = aggregated;
-    split.inbac_split_acks = true;
+    split.protocol_options.inbac_split_acks = true;
     int64_t a = core::Run(aggregated).PaperMessageCount();
     int64_t s = core::Run(split).PaperMessageCount();
     std::printf("%6d %6d | %12lld %12lld %7.1fx\n", n, f,
@@ -56,7 +56,7 @@ void PrintAckAggregation() {
 /// and the backups crash right after 2U.
 bool AgreementUnderLemmaSchedule(int num_backups) {
   core::RunConfig config = core::MakeNiceConfig(ProtocolKind::kInbac, 4, 2);
-  config.inbac_num_backups = num_backups;
+  config.protocol_options.inbac_num_backups = num_backups;
   config.consensus = core::ConsensusKind::kFlooding;
   config.delays.kind = core::DelaySpec::Kind::kScripted;
   config.delays.rules.push_back(core::DelaySpec::Rule{0, 1, 100, 100, 900000});
@@ -87,7 +87,7 @@ void PrintRandomSweep() {
     for (uint64_t seed = 1; seed <= static_cast<uint64_t>(runs); ++seed) {
       core::RunConfig config =
           core::MakeNetworkFailureConfig(ProtocolKind::kInbac, 5, 2, seed);
-      config.inbac_num_backups = b;
+      config.protocol_options.inbac_num_backups = b;
       config.delays.late_probability = 0.6;
       config.crashes = {
           core::CrashSpec{static_cast<int>(seed % 5),
@@ -106,7 +106,7 @@ void BM_InbacByBackupCount(benchmark::State& state) {
   int b = static_cast<int>(state.range(0));
   for (auto _ : state) {
     core::RunConfig config = core::MakeNiceConfig(ProtocolKind::kInbac, 8, 4);
-    config.inbac_num_backups = b;
+    config.protocol_options.inbac_num_backups = b;
     core::RunResult result = core::Run(config);
     benchmark::DoNotOptimize(result.decide_times.data());
   }

@@ -1,0 +1,163 @@
+// Database-layer throughput: pooled commit-instance runtime vs the
+// rebuild-per-transaction baseline, across commit protocols and workloads.
+//
+// Measures, per (protocol, workload, mode):
+//   - committed transactions per wall-clock second (the DES hot path is
+//     dominated by per-commit allocation churn in baseline mode);
+//   - peak live CommitInstances — bounded by commit concurrency when
+//     pooled, by the transaction count when not;
+//   - clusters allocated (pool `created`) vs recycled (`reused`).
+//
+// Usage:
+//   bench_db_throughput [--txs N] [--no-pool | --pool-only]
+//
+// Default: N = 100000, runs both modes and reports the improvement ratios.
+// --no-pool restricts to the baseline mode (the pre-pooling behavior kept
+// for comparison); --pool-only restricts to the pooled mode.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "db/database.h"
+#include "db/workload.h"
+
+namespace fastcommit::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct WorkloadSpec {
+  const char* name;
+  std::vector<db::Transaction> (*make)(int num_txs, uint64_t seed);
+};
+
+std::vector<db::Transaction> MakeTransfer(int num_txs, uint64_t seed) {
+  return db::MakeTransferWorkload(num_txs, /*num_accounts=*/2000,
+                                  /*max_amount=*/50, seed);
+}
+
+std::vector<db::Transaction> MakeHotspot(int num_txs, uint64_t seed) {
+  return db::MakeHotspotWorkload(num_txs, /*num_keys=*/2000,
+                                 /*keys_per_tx=*/3, /*hot_keys=*/16,
+                                 /*hot_probability=*/0.2, seed);
+}
+
+struct Result {
+  double wall_seconds = 0;
+  double txs_per_second = 0;
+  db::DatabaseStats stats;
+  db::CommitInstancePool::Stats pool;
+};
+
+Result RunOne(core::ProtocolKind protocol, const WorkloadSpec& workload,
+              int num_txs, bool pooled) {
+  db::Database::Options options;
+  options.num_partitions = 8;
+  options.protocol = protocol;
+  options.pool_instances = pooled;
+  db::Database database(options);
+
+  auto txs = workload.make(num_txs, /*seed=*/42);
+  auto start = Clock::now();
+  sim::Time at = 0;
+  for (auto& tx : txs) {
+    database.Submit(std::move(tx), at);
+    at += 40;  // steady arrivals; commits overlap but concurrency is bounded
+  }
+  Result result;
+  result.stats = database.Drain();
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.txs_per_second =
+      static_cast<double>(result.stats.committed) / result.wall_seconds;
+  result.pool = database.pool_stats();
+  return result;
+}
+
+void PrintResult(const char* mode, const Result& r) {
+  std::printf(
+      "  %-8s %9lld committed  %7.2fs wall  %9.0f txs/s  peak live %6lld  "
+      "created %7lld  reused %7lld\n",
+      mode, static_cast<long long>(r.stats.committed), r.wall_seconds,
+      r.txs_per_second, static_cast<long long>(r.pool.peak_live),
+      static_cast<long long>(r.pool.created),
+      static_cast<long long>(r.pool.reused));
+}
+
+}  // namespace
+}  // namespace fastcommit::bench
+
+int main(int argc, char** argv) {
+  using namespace fastcommit;
+  using namespace fastcommit::bench;
+
+  int num_txs = 100000;
+  bool run_pooled = true;
+  bool run_baseline = true;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--txs") == 0 && i + 1 < argc) {
+      num_txs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--no-pool") == 0) {
+      run_pooled = false;
+    } else if (std::strcmp(argv[i], "--pool-only") == 0) {
+      run_baseline = false;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--txs N] [--no-pool | --pool-only]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
+  const core::ProtocolKind kProtocols[] = {
+      core::ProtocolKind::kInbac,
+      core::ProtocolKind::kTwoPc,
+      core::ProtocolKind::kPaxosCommit,
+  };
+  const WorkloadSpec kWorkloads[] = {
+      {"transfer", MakeTransfer},
+      {"hotspot", MakeHotspot},
+  };
+
+  PrintHeader("DB commit throughput: pooled instances vs rebuild-per-tx");
+  std::printf("%d transactions per run, 8 partitions, unit U = 100 ticks\n",
+              num_txs);
+
+  bool diverged = false;
+
+  for (const WorkloadSpec& workload : kWorkloads) {
+    for (core::ProtocolKind protocol : kProtocols) {
+      std::printf("\n%s / %s\n", core::ProtocolName(protocol), workload.name);
+      PrintRule();
+      Result pooled;
+      Result baseline;
+      if (run_pooled) {
+        pooled = RunOne(protocol, workload, num_txs, /*pooled=*/true);
+        PrintResult("pooled", pooled);
+      }
+      if (run_baseline) {
+        baseline = RunOne(protocol, workload, num_txs, /*pooled=*/false);
+        PrintResult("no-pool", baseline);
+      }
+      if (run_pooled && run_baseline) {
+        double throughput_x = pooled.txs_per_second / baseline.txs_per_second;
+        double alloc_x = static_cast<double>(baseline.pool.created) /
+                         static_cast<double>(pooled.pool.created);
+        bool identical = pooled.stats == baseline.stats;
+        if (!identical) diverged = true;
+        std::printf(
+            "  -> throughput %4.2fx, allocations %.0fx fewer, stats %s\n",
+            throughput_x, alloc_x,
+            identical ? "identical (determinism ok)" : "DIVERGED");
+      }
+    }
+  }
+  // Nonzero on divergence so CI runs of this bench double as the
+  // pooled-vs-baseline determinism regression gate.
+  return diverged ? 2 : 0;
+}

@@ -41,7 +41,7 @@ void CompareCrash(int n, int f) {
     core::RunConfig config = core::MakeCrashConfig(
         kind, n, f, {core::CrashSpec{0, 1, 0}}, /*seed=*/3);
     config.consensus = core::ConsensusKind::kFlooding;
-    config.paxos_commit_acceptors = std::min(2 * f + 1, n);
+    config.protocol_options.paxos_commit_acceptors = std::min(2 * f + 1, n);
     core::RunResult result = core::Run(config);
     core::PropertyReport report = core::CheckProperties(config, result);
     const char* decision = "blocked";
@@ -68,7 +68,7 @@ void CompareNetworkFailure(int n, int f) {
     for (uint64_t seed = 1; seed <= 20; ++seed) {
       core::RunConfig config = core::MakeNetworkFailureConfig(kind, n, f,
                                                               seed);
-      config.paxos_commit_acceptors = std::min(2 * f + 1, n);
+      config.protocol_options.paxos_commit_acceptors = std::min(2 * f + 1, n);
       core::RunResult result = core::Run(config);
       core::PropertyReport report = core::CheckProperties(config, result);
       agree += report.agreement;

@@ -9,6 +9,22 @@ ANbac::ANbac(proc::ProcessEnv* env)
   timer_origin_ = 1;
 }
 
+void ANbac::Reset() {
+  CommitProtocol::Reset();
+  decision_value_ = 1;
+  delivered_ = false;
+  relayed_ = false;
+  phase_ = 0;
+  vote_ = 1;
+  delivered_v_ = false;
+  collection_v_.assign(collection_v_.size(), false);
+  collection_v_size_ = 0;
+  collection_b_.assign(collection_b_.size(), false);
+  collection_b_size_ = 0;
+  noop_ = false;
+  phase0_ = 0;
+}
+
 void ANbac::Propose(Vote vote) {
   decision_value_ = VoteValue(vote);
   vote_ = VoteValue(vote);

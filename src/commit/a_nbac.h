@@ -28,6 +28,7 @@ class ANbac : public CommitProtocol {
   void Propose(Vote vote) override;
   void OnMessage(net::ProcessId from, const net::Message& m) override;
   void OnTimer(int64_t tag) override;
+  void Reset() override;
 
   enum Kind : int {
     kVal = 1,   ///< bare chain value

@@ -6,6 +6,12 @@ AvNbacFast::AvNbacFast(proc::ProcessEnv* env) : CommitProtocol(env, nullptr) {
   timer_origin_ = 0;
 }
 
+void AvNbacFast::Reset() {
+  CommitProtocol::Reset();
+  votes_seen_ = 0;
+  and_votes_ = 1;
+}
+
 void AvNbacFast::Propose(Vote vote) {
   net::Message m;
   m.kind = kV;

@@ -13,6 +13,15 @@ AvNbacLean::AvNbacLean(proc::ProcessEnv* env)
   collection_size_ = 1;
 }
 
+void AvNbacLean::Reset() {
+  CommitProtocol::Reset();
+  votes_ = 1;
+  received_b_ = false;
+  collection_.assign(collection_.size(), false);
+  collection_[static_cast<size_t>(id())] = true;
+  collection_size_ = 1;
+}
+
 void AvNbacLean::Propose(Vote vote) {
   votes_ &= VoteValue(vote);
   if (rank() <= n() - 1) {

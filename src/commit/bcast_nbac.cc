@@ -10,6 +10,17 @@ BcastNbac::BcastNbac(proc::ProcessEnv* env)
   collection_size_ = 1;
 }
 
+void BcastNbac::Reset() {
+  CommitProtocol::Reset();
+  votes_ = 1;
+  received_b_ = false;
+  relayed_zero_ = false;
+  phase_ = 0;
+  collection_.assign(collection_.size(), false);
+  collection_[static_cast<size_t>(id())] = true;
+  collection_size_ = 1;
+}
+
 void BcastNbac::Propose(Vote vote) {
   votes_ &= VoteValue(vote);
   if (rank() <= n() - 1) {

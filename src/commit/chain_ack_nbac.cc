@@ -7,6 +7,15 @@ ChainAckNbac::ChainAckNbac(proc::ProcessEnv* env, consensus::Consensus* cons)
   timer_origin_ = 1;
 }
 
+void ChainAckNbac::Reset() {
+  CommitProtocol::Reset();
+  votes_ = 1;
+  received_v_ = false;
+  received_b_ = false;
+  received_z_ = false;
+  phase_ = 0;
+}
+
 void ChainAckNbac::Propose(Vote vote) {
   votes_ &= VoteValue(vote);
   if (rank() == 1) {

@@ -27,6 +27,7 @@ class ChainAckNbac : public CommitProtocol {
   void Propose(Vote vote) override;
   void OnMessage(net::ProcessId from, const net::Message& m) override;
   void OnTimer(int64_t tag) override;
+  void Reset() override;
 
   enum Kind : int {
     kV = 1,

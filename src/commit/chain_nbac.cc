@@ -17,6 +17,14 @@ net::ProcessId ChainNbac::SuccessorId() const {
   return (id() + 1) % n();
 }
 
+void ChainNbac::Reset() {
+  CommitProtocol::Reset();
+  decision_value_ = 1;
+  delivered_ = false;
+  relayed_ = false;
+  phase_ = 0;
+}
+
 void ChainNbac::Propose(Vote vote) {
   decision_value_ = VoteValue(vote);
   if (rank() == 1) {

@@ -31,6 +31,7 @@ class ChainNbac : public CommitProtocol {
   void Propose(Vote vote) override;
   void OnMessage(net::ProcessId from, const net::Message& m) override;
   void OnTimer(int64_t tag) override;
+  void Reset() override;
 
   enum Kind : int {
     kVal = 1,  ///< bare 0/1 payload, as in the pseudocode

@@ -28,6 +28,11 @@ void CommitProtocol::OnConsensusDecide(int value) {
   if (!has_decided()) Decide(DecisionFromValue(value));
 }
 
+void CommitProtocol::Reset() {
+  decision_ = Decision::kNone;
+  cons_proposed_ = false;
+}
+
 void CommitProtocol::Decide(Decision d) {
   FC_CHECK(d != Decision::kNone) << "cannot decide kNone";
   FC_CHECK(decision_ == Decision::kNone)

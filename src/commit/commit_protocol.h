@@ -61,6 +61,12 @@ class CommitProtocol : public proc::Module {
   /// Default: no timers.
   void OnTimer(int64_t /*tag*/) override {}
 
+  /// Re-arms the protocol for a new commit without reallocation: clears the
+  /// decision and the consensus-proposal latch. Subclasses extend this with
+  /// their own state; the decide callback survives (the owner re-uses it
+  /// across incarnations).
+  void Reset() override;
+
   Decision decision() const { return decision_; }
   bool has_decided() const { return decision_ != Decision::kNone; }
 

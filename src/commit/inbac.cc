@@ -68,6 +68,23 @@ Inbac::Inbac(proc::ProcessEnv* env, consensus::Consensus* cons,
 
 void Inbac::SetBranch(Branch b) { branch_ = b; }
 
+void Inbac::Reset() {
+  CommitProtocol::Reset();
+  phase_ = 0;
+  val_ = 1;
+  collection0_.assign(collection0_.size(), -1);
+  // collection1_ entries are re-initialized lazily on the first [C] from a
+  // sender (guarded by c_received_), so their buffers — the bulk of the
+  // instance's allocations — are reused without clearing.
+  c_received_.assign(c_received_.size(), false);
+  cnt_ = 0;
+  collection_help_.assign(collection_help_.size(), -1);
+  cnt_help_ = 0;
+  wait_ = false;
+  pending_help_.clear();
+  branch_ = Branch::kNone;
+}
+
 void Inbac::Propose(Vote vote) {
   val_ = VoteValue(vote);
   net::Message m;

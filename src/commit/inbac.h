@@ -76,6 +76,7 @@ class Inbac : public CommitProtocol {
   void Propose(Vote vote) override;
   void OnMessage(net::ProcessId from, const net::Message& m) override;
   void OnTimer(int64_t tag) override;
+  void Reset() override;
 
   Branch branch() const { return branch_; }
   static const char* BranchName(Branch b);

@@ -8,6 +8,15 @@ OneNbac::OneNbac(proc::ProcessEnv* env, consensus::Consensus* cons)
   timer_origin_ = 0;
 }
 
+void OneNbac::Reset() {
+  CommitProtocol::Reset();
+  phase_ = 0;
+  decision_value_ = 1;
+  collection0_.assign(collection0_.size(), false);
+  collection0_size_ = 0;
+  collection1_size_ = 0;
+}
+
 void OneNbac::Propose(Vote vote) {
   decision_value_ = VoteValue(vote);
   net::Message m;

@@ -22,6 +22,25 @@ PaxosCommit::PaxosCommit(proc::ProcessEnv* env, const Options& options)
       << "acceptor count out of range";
 }
 
+void PaxosCommit::Reset() {
+  CommitProtocol::Reset();
+  promised_ = 0;
+  accepted_ballot_.assign(accepted_ballot_.size(), -1);
+  accepted_value_.assign(accepted_value_.size(), 0);
+  accepted_instances_ = 0;
+  aggregate_sent_ = false;
+  reports_.assign(reports_.size(), 0);
+  reported_value_.assign(reported_value_.size(), -1);
+  leading_ = -1;
+  promise_count_ = 0;
+  best_ballot_.assign(best_ballot_.size(), -1);
+  best_value_.assign(best_value_.size(), -1);
+  accept_sent_ = false;
+  accepted_count_ = 0;
+  lead_outcome_ = 0;
+  next_round_ = -1;
+}
+
 void PaxosCommit::Propose(Vote vote) {
   // Ballot-0 optimization: the RM itself performs phase 2a for its own
   // instance by sending its vote to every acceptor.

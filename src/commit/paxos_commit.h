@@ -51,6 +51,7 @@ class PaxosCommit : public CommitProtocol {
   void Propose(Vote vote) override;
   void OnMessage(net::ProcessId from, const net::Message& m) override;
   void OnTimer(int64_t tag) override;
+  void Reset() override;
 
   enum Kind : int {
     kVote2a = 1,    ///< ballot-0 accept for the sender's instance

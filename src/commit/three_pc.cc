@@ -14,6 +14,15 @@ ThreePhaseCommit::ThreePhaseCommit(proc::ProcessEnv* env,
   timer_origin_ = 0;
 }
 
+void ThreePhaseCommit::Reset() {
+  CommitProtocol::Reset();
+  votes_received_ = 0;
+  all_yes_ = true;
+  acks_ = 0;
+  precommitted_ = false;
+  sent_pre_ = false;
+}
+
 void ThreePhaseCommit::Propose(Vote vote) {
   all_yes_ = vote == Vote::kYes;
   if (IsCoordinator()) {

@@ -5,6 +5,12 @@ namespace fastcommit::commit {
 TwoPhaseCommit::TwoPhaseCommit(proc::ProcessEnv* env)
     : CommitProtocol(env, nullptr) {}
 
+void TwoPhaseCommit::Reset() {
+  CommitProtocol::Reset();
+  votes_received_ = 0;
+  all_yes_ = true;
+}
+
 void TwoPhaseCommit::Propose(Vote vote) {
   all_yes_ = vote == Vote::kYes;
   if (IsCoordinator()) {

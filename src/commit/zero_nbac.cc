@@ -8,6 +8,15 @@ ZeroNbac::ZeroNbac(proc::ProcessEnv* env, consensus::Consensus* cons)
   timer_origin_ = 0;
 }
 
+void ZeroNbac::Reset() {
+  CommitProtocol::Reset();
+  myvote_ = 1;
+  myack_.assign(myack_.size(), false);
+  myack_size_ = 0;
+  zero_ = false;
+  phase_ = 0;
+}
+
 void ZeroNbac::Propose(Vote vote) {
   myvote_ = VoteValue(vote);
   if (myvote_ == 0) {

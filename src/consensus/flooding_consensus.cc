@@ -8,10 +8,16 @@ FloodingConsensus::FloodingConsensus(proc::ProcessEnv* env,
   FC_CHECK(epoch_start_units >= 1) << "epoch must be positive";
 }
 
+void FloodingConsensus::Reset() {
+  Consensus::Reset();
+  active_ = false;
+  seen_mask_ = 0;
+}
+
 void FloodingConsensus::Propose(int value) {
   FC_CHECK(value == 0 || value == 1) << "binary consensus";
   if (active_) return;
-  FC_CHECK(env_->Now() <= epoch_start_units_ * env_->unit())
+  FC_CHECK(env_->Now() - env_->epoch() <= epoch_start_units_ * env_->unit())
       << "proposal after flooding epoch start; configure a later epoch";
   active_ = true;
   seen_mask_ |= value == 0 ? 1u : 2u;

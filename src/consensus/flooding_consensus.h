@@ -29,6 +29,7 @@ class FloodingConsensus : public Consensus {
   void Propose(int value) override;
   void OnMessage(net::ProcessId from, const net::Message& m) override;
   void OnTimer(int64_t tag) override;
+  void Reset() override;
 
   enum Kind : int {
     kFlood = 1,

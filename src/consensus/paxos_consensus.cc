@@ -29,6 +29,24 @@ int64_t PaxosConsensus::CurrentRound() const {
   return r;
 }
 
+void PaxosConsensus::Reset() {
+  Consensus::Reset();
+  active_ = false;
+  my_value_ = -1;
+  promised_ = -1;
+  accepted_ballot_ = -1;
+  accepted_value_ = -1;
+  leading_ = -1;
+  lead_value_ = -1;
+  promise_count_ = 0;
+  best_promise_ballot_ = -1;
+  best_promise_value_ = -1;
+  accepted_count_ = 0;
+  accept_sent_ = false;
+  decide_broadcast_ = false;
+  next_scheduled_round_ = -1;
+}
+
 void PaxosConsensus::Propose(int value) {
   FC_CHECK(value == 0 || value == 1) << "binary consensus";
   if (active_) return;

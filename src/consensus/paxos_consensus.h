@@ -31,6 +31,7 @@ class PaxosConsensus : public Consensus {
   void Propose(int value) override;
   void OnMessage(net::ProcessId from, const net::Message& m) override;
   void OnTimer(int64_t tag) override;
+  void Reset() override;
 
   /// Message kinds (exposed for tests and trace analysis).
   enum Kind : int {

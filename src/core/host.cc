@@ -31,9 +31,15 @@ class Host::ChannelEnv : public proc::ProcessEnv {
   void SetTimerAtTicks(sim::Time at, int64_t tag) override {
     Host* host = host_;
     net::Channel channel = channel_;
-    host_->simulator_->ScheduleAt(
-        host_->epoch_ + at, sim::EventClass::kTimer,
-        [host, channel, tag]() { host->HandleTimer(channel, tag); });
+    // Timers are not cancellable; a recycled host instead bumps its
+    // generation, and a timer set under an older generation expires as a
+    // no-op (the stale-timer guard of the pooled instance lifecycle).
+    uint64_t generation = host_->generation_;
+    host_->simulator_->ScheduleAt(host_->epoch_ + at, sim::EventClass::kTimer,
+                                  [host, channel, tag, generation]() {
+                                    if (generation != host->generation_) return;
+                                    host->HandleTimer(channel, tag);
+                                  });
   }
 
  private:
@@ -85,6 +91,15 @@ void Host::Propose(commit::Vote vote) {
 void Host::Crash() {
   crashed_ = true;
   network_->Crash(id_);
+}
+
+void Host::Reset(sim::Time epoch) {
+  FC_CHECK(protocol_ != nullptr) << "reset before Attach";
+  ++generation_;
+  epoch_ = epoch;
+  crashed_ = false;
+  protocol_->Reset();
+  if (consensus_ != nullptr) consensus_->Reset();
 }
 
 void Host::HandleMessage(net::ProcessId from, const net::Message& m) {

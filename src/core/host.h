@@ -39,6 +39,17 @@ class Host {
   void Crash();
   bool crashed() const { return crashed_; }
 
+  /// Re-arms the host (and its attached modules) for a new protocol
+  /// instance starting at `epoch`: clears the crash mark, resets the
+  /// protocol and consensus modules in place, and bumps the timer
+  /// generation so timers scheduled by the previous incarnation expire as
+  /// no-ops instead of firing into the new one.
+  void Reset(sim::Time epoch);
+
+  /// Generation counter incremented by Reset; pending timers carry the
+  /// generation they were set under and are dropped on mismatch.
+  uint64_t generation() const { return generation_; }
+
   commit::CommitProtocol* protocol() { return protocol_.get(); }
   consensus::Consensus* consensus() { return consensus_.get(); }
 
@@ -56,6 +67,7 @@ class Host {
   sim::Time unit_;
   sim::Time epoch_;
   bool crashed_ = false;
+  uint64_t generation_ = 0;
 
   std::unique_ptr<ChannelEnv> commit_env_;
   std::unique_ptr<ChannelEnv> consensus_env_;

@@ -196,11 +196,7 @@ RunResult Run(const RunConfig& config) {
   result.decide_times.assign(static_cast<size_t>(config.n), -1);
   result.crashed.assign(static_cast<size_t>(config.n), false);
 
-  ProtocolOptions options;
-  options.inbac_num_backups = config.inbac_num_backups;
-  options.inbac_fast_abort = config.inbac_fast_abort;
-  options.inbac_split_acks = config.inbac_split_acks;
-  options.paxos_commit_acceptors = config.paxos_commit_acceptors;
+  const ProtocolOptions& options = config.protocol_options;
   for (int i = 0; i < config.n; ++i) {
     auto cons = MakeConsensus(config.protocol, config.consensus,
                               hosts[static_cast<size_t>(i)]->consensus_env(),

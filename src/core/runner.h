@@ -52,6 +52,16 @@ struct DelaySpec {
   std::vector<Rule> rules;
 };
 
+/// Protocol-specific construction knobs, embedded in RunConfig and
+/// db::Database::Options so the standalone runner, the database layer, the
+/// benches and the examples all configure protocols through one struct.
+struct ProtocolOptions {
+  int inbac_num_backups = 0;       ///< 0 => f (ablation: fewer than f)
+  bool inbac_fast_abort = false;   ///< Section 5.2's 1-delay abort path
+  bool inbac_split_acks = false;   ///< ablation: per-vote acknowledgements
+  int paxos_commit_acceptors = 0;  ///< 0 => f+1 (liveness: 2f+1)
+};
+
 /// Full specification of one execution.
 struct RunConfig {
   ProtocolKind protocol = ProtocolKind::kInbac;
@@ -73,11 +83,8 @@ struct RunConfig {
   /// Stop the simulation at this time (ticks); 0 = auto (generous).
   sim::Time deadline = 0;
 
-  // Protocol-specific knobs.
-  int inbac_num_backups = 0;        ///< 0 => f (ablation: fewer than f)
-  bool inbac_fast_abort = false;    ///< Section 5.2's 1-delay abort path
-  bool inbac_split_acks = false;    ///< ablation: per-vote acknowledgements
-  int paxos_commit_acceptors = 0;   ///< 0 => f+1 (liveness: 2f+1)
+  /// Protocol-specific knobs (shared with the database layer).
+  ProtocolOptions protocol_options;
 };
 
 /// Convenience builders for the three canonical execution classes.
@@ -90,15 +97,6 @@ RunConfig MakeNetworkFailureConfig(ProtocolKind protocol, int n, int f,
 /// Executes the configured run to completion (or deadline) and returns the
 /// trace. Deterministic: equal configs produce identical results.
 RunResult Run(const RunConfig& config);
-
-/// Protocol-specific construction knobs (subset of RunConfig, reused by the
-/// database layer which builds protocol instances per transaction).
-struct ProtocolOptions {
-  int inbac_num_backups = 0;       ///< 0 => f
-  bool inbac_fast_abort = false;
-  bool inbac_split_acks = false;
-  int paxos_commit_acceptors = 0;  ///< 0 => f+1
-};
 
 /// Instantiates a commit protocol of the given kind against `env`; `cons`
 /// may be nullptr iff !NeedsConsensus(kind).

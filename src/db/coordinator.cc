@@ -10,17 +10,17 @@ namespace fastcommit::db {
 
 CommitInstance::CommitInstance(sim::Simulator* simulator,
                                core::ProtocolKind protocol,
-                               core::ConsensusKind consensus, sim::Time unit,
-                               std::vector<commit::Vote> votes,
+                               core::ConsensusKind consensus,
+                               const core::ProtocolOptions& protocol_options,
+                               sim::Time unit, std::vector<commit::Vote> votes,
                                DoneCallback done)
     : simulator_(simulator),
       n_(static_cast<int>(votes.size())),
       votes_(std::move(votes)),
       done_(std::move(done)) {
   FC_CHECK(n_ >= 2) << "commit instance needs >= 2 participants";
-  int f = std::max(1, n_ - 1 >= 1 ? 1 : 1);
   // Resilience: tolerate any minority of the touched partitions, at least 1.
-  f = std::max(1, (n_ - 1) / 2);
+  int f = std::max(1, (n_ - 1) / 2);
 
   network_ = std::make_unique<net::Network>(
       simulator, n_, std::make_unique<net::FixedDelayModel>(unit));
@@ -35,15 +35,17 @@ CommitInstance::CommitInstance(sim::Simulator* simulator,
     core::Host* host = hosts_[static_cast<size_t>(i)].get();
     auto cons = core::MakeConsensus(protocol, consensus,
                                     host->consensus_env(), n_, f);
-    auto participant =
-        core::MakeProtocol(protocol, host->commit_env(), cons.get());
+    auto participant = core::MakeProtocol(protocol, host->commit_env(),
+                                          cons.get(), protocol_options);
+    // The decide hook survives Reset: it is installed once and observes
+    // every incarnation of this instance.
     participant->set_on_decide([this](commit::Decision d) {
       FC_CHECK(decision_ == commit::Decision::kNone || decision_ == d)
           << "agreement violation inside a commit instance";
       decision_ = d;
       if (++decided_count_ == n_) {
         finish_time_ = simulator_->Now();
-        if (done_) done_(decision_);
+        if (done_) done_(this, decision_);
       }
     });
     host->Attach(std::move(participant), std::move(cons));
@@ -51,6 +53,22 @@ CommitInstance::CommitInstance(sim::Simulator* simulator,
 }
 
 CommitInstance::~CommitInstance() = default;
+
+void CommitInstance::Reset(std::vector<commit::Vote> votes,
+                           DoneCallback done) {
+  FC_CHECK(finished()) << "reset of an unfinished commit instance";
+  FC_CHECK(static_cast<int>(votes.size()) == n_)
+      << "vote count " << votes.size() << " != instance size " << n_;
+  votes_ = std::move(votes);
+  done_ = std::move(done);
+  decided_count_ = 0;
+  decision_ = commit::Decision::kNone;
+  start_time_ = -1;
+  finish_time_ = -1;
+  network_->ResetEpoch();
+  sim::Time epoch = simulator_->Now();
+  for (auto& host : hosts_) host->Reset(epoch);
+}
 
 void CommitInstance::Start() {
   start_time_ = simulator_->Now();

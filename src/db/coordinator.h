@@ -16,33 +16,67 @@ namespace fastcommit::db {
 
 /// One atomic-commit round among the partitions touched by one transaction.
 ///
-/// The instance owns an ephemeral cluster — its own Network and Hosts over
-/// the shared simulator — whose processes 0..n-1 correspond to the touched
-/// partitions in order. The epoch of every host is the instant Start() is
+/// The instance owns a cluster — its own Network and Hosts over the shared
+/// simulator — whose processes 0..n-1 correspond to the touched partitions
+/// in order. The epoch of every host is the instant Start() (or Reset()) is
 /// called, so the protocols' absolute-time pseudocode runs unmodified in
-/// the middle of a long database simulation. Instances stay alive until the
-/// database shuts down (pending timer events may still reference them after
-/// the decision; their handlers are no-ops by then).
+/// the middle of a long database simulation.
+///
+/// ## Instance lifecycle (pooled runtime)
+///
+/// An instance is built once per cluster size n and then *recycled* across
+/// transactions by CommitInstancePool:
+///
+///   construct -> Start -> ... decide ... -> Reset -> Start -> ...
+///
+/// Reset re-arms every layer in place, without reallocation: protocol and
+/// consensus modules restore their construction-time state
+/// (proc::Module::Reset), hosts clear their crash marks and move their
+/// timer epoch to the new start instant (core::Host::Reset), and the
+/// network rolls its per-epoch message statistics into lifetime totals
+/// (net::Network::ResetEpoch).
+///
+/// Stale events are fenced by generation counters rather than cancellation:
+/// timers capture the host generation and deliveries capture the network
+/// generation current when they were scheduled; Reset bumps both, so any
+/// event left over from a previous incarnation expires as a no-op. A
+/// recycled instance therefore behaves bit-for-bit like a freshly
+/// constructed one — the determinism gate in tests/db_pool_test.cc holds
+/// the pooled and rebuild-per-transaction modes to identical DatabaseStats.
 class CommitInstance {
  public:
-  /// Called once, when every process of the instance has decided.
-  using DoneCallback = std::function<void(commit::Decision decision)>;
+  /// Called once per incarnation, when every process has decided. The
+  /// instance pointer lets the owner account for the round's messages and
+  /// return the instance to its pool.
+  using DoneCallback =
+      std::function<void(CommitInstance* instance, commit::Decision decision)>;
 
   CommitInstance(sim::Simulator* simulator, core::ProtocolKind protocol,
-                 core::ConsensusKind consensus, sim::Time unit,
+                 core::ConsensusKind consensus,
+                 const core::ProtocolOptions& protocol_options, sim::Time unit,
                  std::vector<commit::Vote> votes, DoneCallback done);
   CommitInstance(const CommitInstance&) = delete;
   CommitInstance& operator=(const CommitInstance&) = delete;
   ~CommitInstance();
 
+  /// Re-arms the instance for a new commit among the same number of
+  /// partitions: new votes, new done callback, epoch = Now(). Requires the
+  /// previous incarnation to have finished.
+  void Reset(std::vector<commit::Vote> votes, DoneCallback done);
+
   /// Proposes every vote at the current virtual time.
   void Start();
 
   bool finished() const { return decided_count_ == n_; }
+  int n() const { return n_; }
   sim::Time start_time() const { return start_time_; }
   sim::Time finish_time() const { return finish_time_; }
-  /// Network messages this commit exchanged (protocol + consensus).
+  /// Network messages this incarnation exchanged (protocol + consensus).
   int64_t messages() const { return network_->stats().total_sent(); }
+  /// Network messages across every incarnation of this instance.
+  int64_t lifetime_messages() const {
+    return network_->stats().lifetime_sent();
+  }
 
  private:
   sim::Simulator* simulator_;

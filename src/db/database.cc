@@ -9,24 +9,55 @@
 
 namespace fastcommit::db {
 
-double DatabaseStats::MeanLatency() const {
-  if (latencies.empty()) return 0.0;
-  double sum = 0.0;
-  for (sim::Time t : latencies) sum += static_cast<double>(t);
-  return sum / static_cast<double>(latencies.size());
+void LatencyStats::Record(sim::Time latency) {
+  if (count_ == 0) {
+    min_ = latency;
+    max_ = latency;
+  } else {
+    min_ = std::min(min_, latency);
+    max_ = std::max(max_, latency);
+  }
+  sum_ += latency;
+  ++count_;
+  if (static_cast<int64_t>(sample_.size()) < kReservoirCapacity) {
+    sample_.push_back(latency);
+    return;
+  }
+  // Algorithm R: the i-th record (1-based) replaces a random slot with
+  // probability capacity/i, keeping the sample uniform over all records.
+  uint64_t slot = rng_.Next() % static_cast<uint64_t>(count_);
+  if (slot < static_cast<uint64_t>(kReservoirCapacity)) {
+    sample_[static_cast<size_t>(slot)] = latency;
+  }
 }
 
-sim::Time DatabaseStats::PercentileLatency(double p) const {
-  if (latencies.empty()) return 0;
-  std::vector<sim::Time> sorted = latencies;
+double LatencyStats::Mean() const {
+  if (count_ == 0) return 0.0;
+  return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+sim::Time LatencyStats::Percentile(double p) const {
+  if (sample_.empty()) return 0;
+  std::vector<sim::Time> sorted = sample_;
   std::sort(sorted.begin(), sorted.end());
   double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
   size_t index = static_cast<size_t>(rank);
   return sorted[std::min(index, sorted.size() - 1)];
 }
 
+bool DatabaseStats::operator==(const DatabaseStats& other) const {
+  return committed == other.committed && aborted == other.aborted &&
+         retries == other.retries &&
+         single_partition == other.single_partition &&
+         commit_messages == other.commit_messages &&
+         latency == other.latency && makespan == other.makespan;
+}
+
 Database::Database(const Options& options)
-    : options_(options), rng_(options.seed) {
+    : options_(options),
+      rng_(options.seed),
+      pool_(&simulator_, options.protocol, options.consensus,
+            options.protocol_options, options.unit, options.pool_instances) {
   FC_CHECK(options.num_partitions >= 1) << "need at least one partition";
   partitions_.reserve(static_cast<size_t>(options.num_partitions));
   for (int i = 0; i < options.num_partitions; ++i) {
@@ -87,15 +118,17 @@ void Database::Execute(PendingTx pending) {
     return;
   }
 
-  auto instance = std::make_unique<CommitInstance>(
-      &simulator_, options_.protocol, options_.consensus, options_.unit,
-      votes,
-      [this, pending, touched, started](commit::Decision decision) {
+  CommitInstance* instance = pool_.Acquire(
+      std::move(votes),
+      [this, pending, touched, started](CommitInstance* done_instance,
+                                        commit::Decision decision) {
+        // Count the round's traffic at decision time — after Release the
+        // per-epoch counters belong to the next incarnation.
+        stats_.commit_messages += done_instance->messages();
+        pool_.Release(done_instance);
         FinishTx(pending, touched, decision, started);
       });
-  CommitInstance* raw = instance.get();
-  instances_.push_back(std::move(instance));
-  raw->Start();
+  instance->Start();
 }
 
 void Database::FinishTx(const PendingTx& pending,
@@ -108,7 +141,7 @@ void Database::FinishTx(const PendingTx& pending,
   if (decision == commit::Decision::kCommit) {
     ++stats_.committed;
     if (touched.size() > 1) {
-      stats_.latencies.push_back(simulator_.Now() - started);
+      stats_.latency.Record(simulator_.Now() - started);
     }
     --inflight_;
     return;
@@ -134,24 +167,16 @@ const DatabaseStats& Database::Drain() {
   simulator_.Run();
   FC_CHECK(inflight_ == 0) << "transactions still pending after drain";
   stats_.makespan = simulator_.Now();
-  stats_.commit_messages = 0;
-  for (const auto& instance : instances_) {
-    stats_.commit_messages += instance->messages();
-  }
   return stats_;
 }
 
 commit::Decision Database::Execute(Transaction tx) {
-  TxId id = tx.id;
-  commit::Decision result = commit::Decision::kNone;
-  // Wrap the stats delta: find the decision by observing committed/aborted.
+  // Find the decision by observing the committed-count delta.
   int64_t committed_before = stats_.committed;
   Submit(std::move(tx), simulator_.Now());
   Drain();
-  (void)id;
-  result = stats_.committed > committed_before ? commit::Decision::kCommit
-                                               : commit::Decision::kAbort;
-  return result;
+  return stats_.committed > committed_before ? commit::Decision::kCommit
+                                             : commit::Decision::kAbort;
 }
 
 int64_t Database::GetInt(const Key& key) {

@@ -1,12 +1,14 @@
 #ifndef FASTCOMMIT_DB_DATABASE_H_
 #define FASTCOMMIT_DB_DATABASE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "core/protocol_kind.h"
 #include "core/runner.h"
 #include "db/coordinator.h"
+#include "db/instance_pool.h"
 #include "db/participant.h"
 #include "db/transaction.h"
 #include "sim/rng.h"
@@ -14,18 +16,72 @@
 
 namespace fastcommit::db {
 
-/// Aggregate results of a database run.
+/// Bounded-memory latency accounting: exact streaming count/sum/min/max
+/// plus a fixed-size reservoir sample (algorithm R, dedicated deterministic
+/// RNG stream) for percentile estimates. O(1) in the number of recorded
+/// latencies, so a million-transaction run does not grow the stats.
+class LatencyStats {
+ public:
+  /// Reservoir size. Percentiles are exact up to this many records and a
+  /// uniform sample beyond it.
+  static constexpr int64_t kReservoirCapacity = 4096;
+
+  void Record(sim::Time latency);
+
+  int64_t count() const { return count_; }
+  /// Exact mean over every recorded latency (not just the sample).
+  double Mean() const;
+  sim::Time Min() const { return count_ == 0 ? 0 : min_; }
+  sim::Time Max() const { return count_ == 0 ? 0 : max_; }
+  /// Percentile estimate over the reservoir sample; p in [0, 100].
+  sim::Time Percentile(double p) const;
+
+  const std::vector<sim::Time>& sample() const { return sample_; }
+
+  bool operator==(const LatencyStats& other) const {
+    return count_ == other.count_ && sum_ == other.sum_ &&
+           min_ == other.min_ && max_ == other.max_ &&
+           sample_ == other.sample_;
+  }
+  bool operator!=(const LatencyStats& other) const {
+    return !(*this == other);
+  }
+
+ private:
+  int64_t count_ = 0;
+  int64_t sum_ = 0;
+  sim::Time min_ = 0;
+  sim::Time max_ = 0;
+  std::vector<sim::Time> sample_;
+  /// Dedicated stream for the reservoir's replacement draws, fixed seed so
+  /// equal record sequences produce equal samples (the equality operator
+  /// compares the sample itself, not this state).
+  sim::Rng rng_{0x5eed5eed5eed5eedULL};
+};
+
+/// Aggregate results of a database run. Memory is O(1) in transaction
+/// count; equality compares every workload-visible field, which the
+/// pooling determinism gate relies on (tests/db_pool_test.cc).
 struct DatabaseStats {
   int64_t committed = 0;
-  int64_t aborted = 0;         ///< gave up after max_attempts
-  int64_t retries = 0;         ///< abort-and-retry rounds
+  int64_t aborted = 0;           ///< gave up after max_attempts
+  int64_t retries = 0;           ///< abort-and-retry rounds
   int64_t single_partition = 0;  ///< committed locally, no protocol
-  int64_t commit_messages = 0;   ///< network messages across all commits
-  std::vector<sim::Time> latencies;  ///< per multi-partition commit, ticks
-  sim::Time makespan = 0;            ///< virtual time when the run drained
+  /// Network messages each multi-partition commit had sent by the instant
+  /// it decided (protocol + consensus), summed over all commits.
+  int64_t commit_messages = 0;
+  LatencyStats latency;  ///< per multi-partition commit, ticks
+  sim::Time makespan = 0;  ///< virtual time when the run drained
 
-  double MeanLatency() const;
-  sim::Time PercentileLatency(double p) const;  ///< p in [0, 100]
+  double MeanLatency() const { return latency.Mean(); }
+  sim::Time PercentileLatency(double p) const {  ///< p in [0, 100]
+    return latency.Percentile(p);
+  }
+
+  bool operator==(const DatabaseStats& other) const;
+  bool operator!=(const DatabaseStats& other) const {
+    return !(*this == other);
+  }
 };
 
 /// A partitioned transactional key-value store committed by any of the
@@ -36,8 +92,9 @@ struct DatabaseStats {
 ///   1. ops are routed to partitions by key hash;
 ///   2. each touched partition prepares locally: acquires no-wait locks and
 ///      stages writes, voting yes/no (Helios-style conflict voting);
-///   3. an ephemeral commit instance of the configured protocol runs among
-///      the touched partitions over the shared virtual-time simulator;
+///   3. a commit instance of the configured protocol — acquired from a pool
+///      keyed by cluster size, see db/instance_pool.h — runs among the
+///      touched partitions over the shared virtual-time simulator;
 ///   4. on commit, staged writes apply; on abort, the transaction retries
 ///      with backoff up to max_attempts.
 /// Single-partition transactions skip the protocol (one-phase commit).
@@ -47,10 +104,17 @@ class Database {
     int num_partitions = 4;
     core::ProtocolKind protocol = core::ProtocolKind::kInbac;
     core::ConsensusKind consensus = core::ConsensusKind::kPaxos;
+    core::ProtocolOptions protocol_options;  ///< shared with core::RunConfig
     sim::Time unit = 100;        ///< ticks per message delay U
     int max_attempts = 5;
     int64_t retry_backoff_units = 4;  ///< backoff = attempt * this * U
     uint64_t seed = 1;
+    /// Recycle commit instances through a free-list pool (the default).
+    /// false restores the rebuild-per-transaction baseline, in which every
+    /// commit allocates a fresh cluster that stays live until shutdown —
+    /// kept for the throughput bench's --no-pool comparison and the
+    /// determinism regression gate.
+    bool pool_instances = true;
   };
 
   explicit Database(const Options& options);
@@ -80,6 +144,12 @@ class Database {
   int64_t SumInts();
 
   const DatabaseStats& stats() const { return stats_; }
+  /// Commit-instance pool counters (created/reused/live/peak_live) —
+  /// deliberately outside DatabaseStats, which must be identical between
+  /// pooled and baseline runs of the same seed.
+  const CommitInstancePool::Stats& pool_stats() const {
+    return pool_.stats();
+  }
   sim::Time Now() const { return simulator_.Now(); }
 
  private:
@@ -97,9 +167,7 @@ class Database {
   sim::Simulator simulator_;
   sim::Rng rng_;
   std::vector<std::unique_ptr<Participant>> partitions_;
-  /// Instances live until the Database dies: late timer events may still
-  /// reference them (harmlessly) after their decision.
-  std::vector<std::unique_ptr<CommitInstance>> instances_;
+  CommitInstancePool pool_;
   DatabaseStats stats_;
   int64_t inflight_ = 0;
 };

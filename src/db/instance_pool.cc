@@ -1,0 +1,59 @@
+#include "db/instance_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+
+namespace fastcommit::db {
+
+CommitInstancePool::CommitInstancePool(
+    sim::Simulator* simulator, core::ProtocolKind protocol,
+    core::ConsensusKind consensus,
+    const core::ProtocolOptions& protocol_options, sim::Time unit,
+    bool enabled)
+    : simulator_(simulator),
+      protocol_(protocol),
+      consensus_(consensus),
+      protocol_options_(protocol_options),
+      unit_(unit),
+      enabled_(enabled) {
+  FC_CHECK(simulator != nullptr);
+}
+
+CommitInstance* CommitInstancePool::Acquire(
+    std::vector<commit::Vote> votes, CommitInstance::DoneCallback done) {
+  int n = static_cast<int>(votes.size());
+  ++stats_.live;
+  stats_.peak_live = std::max(stats_.peak_live, stats_.live);
+
+  if (enabled_) {
+    auto it = free_by_n_.find(n);
+    if (it != free_by_n_.end() && !it->second.empty()) {
+      CommitInstance* instance = it->second.back();
+      it->second.pop_back();
+      instance->Reset(std::move(votes), std::move(done));
+      ++stats_.reused;
+      return instance;
+    }
+  }
+
+  auto instance = std::make_unique<CommitInstance>(
+      simulator_, protocol_, consensus_, protocol_options_, unit_,
+      std::move(votes), std::move(done));
+  CommitInstance* raw = instance.get();
+  all_.push_back(std::move(instance));
+  ++stats_.created;
+  return raw;
+}
+
+void CommitInstancePool::Release(CommitInstance* instance) {
+  FC_CHECK(instance != nullptr);
+  FC_CHECK(instance->finished()) << "release of an unfinished instance";
+  if (!enabled_) return;  // baseline mode: stays live until shutdown
+  FC_CHECK(stats_.live > 0) << "release without a matching acquire";
+  --stats_.live;
+  free_by_n_[instance->n()].push_back(instance);
+}
+
+}  // namespace fastcommit::db

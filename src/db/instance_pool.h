@@ -1,0 +1,76 @@
+#ifndef FASTCOMMIT_DB_INSTANCE_POOL_H_
+#define FASTCOMMIT_DB_INSTANCE_POOL_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/protocol_kind.h"
+#include "core/runner.h"
+#include "db/coordinator.h"
+#include "sim/simulator.h"
+
+namespace fastcommit::db {
+
+/// Free-list pool of CommitInstances, keyed by cluster size n.
+///
+/// Acquire returns a recycled instance of the right size when one is free
+/// (re-armed via CommitInstance::Reset — no allocation on the hot path) and
+/// constructs one otherwise. Release returns an instance to its size class;
+/// in-flight events of the released incarnation are fenced by the
+/// generation counters (see the lifecycle comment in db/coordinator.h), so
+/// an instance is safe to reuse the moment its last process decided.
+///
+/// With pooling disabled the pool degrades to the rebuild-per-transaction
+/// baseline: Acquire always constructs and Release keeps the instance live
+/// until shutdown — the leak-until-shutdown behavior this pool replaces,
+/// preserved behind Options so benches can measure the difference.
+class CommitInstancePool {
+ public:
+  struct Stats {
+    int64_t created = 0;  ///< instances ever constructed
+    int64_t reused = 0;   ///< acquisitions served from the free list
+    /// Instances acquired and not yet back on a free list. Pooled mode:
+    /// the in-flight commit count. Baseline mode: Release never returns
+    /// instances, so this is every cluster ever built — the
+    /// O(transactions) live-object count the pool exists to eliminate.
+    int64_t live = 0;
+    int64_t peak_live = 0;  ///< high-water mark of `live`
+  };
+
+  CommitInstancePool(sim::Simulator* simulator, core::ProtocolKind protocol,
+                     core::ConsensusKind consensus,
+                     const core::ProtocolOptions& protocol_options,
+                     sim::Time unit, bool enabled);
+  CommitInstancePool(const CommitInstancePool&) = delete;
+  CommitInstancePool& operator=(const CommitInstancePool&) = delete;
+
+  /// Hands out an instance armed with `votes` and `done`. The pool retains
+  /// ownership; the caller must Release exactly once when the commit
+  /// decided (typically from inside `done`).
+  CommitInstance* Acquire(std::vector<commit::Vote> votes,
+                          CommitInstance::DoneCallback done);
+
+  /// Returns a finished instance to its size class (no-op when pooling is
+  /// disabled — the baseline keeps instances live until shutdown).
+  void Release(CommitInstance* instance);
+
+  const Stats& stats() const { return stats_; }
+  bool enabled() const { return enabled_; }
+
+ private:
+  sim::Simulator* simulator_;
+  core::ProtocolKind protocol_;
+  core::ConsensusKind consensus_;
+  core::ProtocolOptions protocol_options_;
+  sim::Time unit_;
+  bool enabled_;
+
+  std::vector<std::unique_ptr<CommitInstance>> all_;
+  std::unordered_map<int, std::vector<CommitInstance*>> free_by_n_;
+  Stats stats_;
+};
+
+}  // namespace fastcommit::db
+
+#endif  // FASTCOMMIT_DB_INSTANCE_POOL_H_

@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/check.h"
@@ -29,13 +30,14 @@ void Network::Send(ProcessId from, ProcessId to, Message msg) {
   if (crashed_[static_cast<size_t>(from)]) return;
 
   auto shared = std::make_shared<const Message>(std::move(msg));
+  uint64_t generation = generation_;
   if (from == to) {
     // Local step: delivered at the same instant, not a network message
     // (paper footnote 10). Still goes through the event queue so the current
     // handler finishes first.
     simulator_->ScheduleAt(simulator_->Now(), sim::EventClass::kDelivery,
-                           [this, from, to, shared]() {
-                             Deliver(-1, from, to, shared);
+                           [this, generation, from, to, shared]() {
+                             Deliver(generation, -1, from, to, shared);
                            });
     return;
   }
@@ -45,9 +47,15 @@ void Network::Send(ProcessId from, ProcessId to, Message msg) {
   sim::Time delay = delays_->DelayFor(from, to, now, seq);
   FC_CHECK(delay >= 1) << "delay model returned non-positive delay";
   simulator_->ScheduleAt(now + delay, sim::EventClass::kDelivery,
-                         [this, seq, from, to, shared]() {
-                           Deliver(seq, from, to, shared);
+                         [this, generation, seq, from, to, shared]() {
+                           Deliver(generation, seq, from, to, shared);
                          });
+}
+
+void Network::ResetEpoch() {
+  ++generation_;
+  std::fill(crashed_.begin(), crashed_.end(), false);
+  stats_.ResetEpoch();
 }
 
 void Network::Crash(ProcessId pid) {
@@ -66,8 +74,11 @@ int Network::crash_count() const {
   return count;
 }
 
-void Network::Deliver(int64_t seq, ProcessId from, ProcessId to,
-                      std::shared_ptr<const Message> msg) {
+void Network::Deliver(uint64_t generation, int64_t seq, ProcessId from,
+                      ProcessId to, std::shared_ptr<const Message> msg) {
+  // A delivery from a previous epoch: the instance this message belonged to
+  // has been recycled; its trace record is gone too. Drop silently.
+  if (generation != generation_) return;
   if (crashed_[static_cast<size_t>(to)]) {
     if (seq >= 0) stats_.RecordDrop(seq, simulator_->Now());
     return;

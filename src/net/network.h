@@ -23,6 +23,13 @@ namespace fastcommit::net {
 ///
 /// Self-addressed messages are delivered at the same instant (local step,
 /// zero delay) and do not appear in the statistics.
+///
+/// Pooled lifecycle: ResetEpoch re-arms the network for a new protocol
+/// instance over the same processes. Every in-flight delivery carries the
+/// generation it was sent under; deliveries from a previous generation are
+/// silently discarded, so a recycled cluster never observes messages of an
+/// earlier incarnation. Per-epoch statistics restart while lifetime totals
+/// accumulate (MessageStats::ResetEpoch).
 class Network {
  public:
   using Handler = std::function<void(ProcessId from, const Message&)>;
@@ -40,6 +47,14 @@ class Network {
   /// Marks `pid` crashed as of the current instant.
   void Crash(ProcessId pid);
 
+  /// Starts a new epoch: bumps the delivery generation (pending deliveries
+  /// of the old epoch will be dropped), clears crash marks, and rolls the
+  /// per-epoch message statistics into the lifetime totals.
+  void ResetEpoch();
+
+  /// Generation counter for stale-delivery guarding (see class comment).
+  uint64_t generation() const { return generation_; }
+
   bool crashed(ProcessId pid) const;
   int crash_count() const;
   int n() const { return n_; }
@@ -48,7 +63,7 @@ class Network {
   const MessageStats& stats() const { return stats_; }
 
  private:
-  void Deliver(int64_t seq, ProcessId from, ProcessId to,
+  void Deliver(uint64_t generation, int64_t seq, ProcessId from, ProcessId to,
                std::shared_ptr<const Message> msg);
 
   sim::Simulator* simulator_;
@@ -57,6 +72,7 @@ class Network {
   std::vector<Handler> handlers_;
   std::vector<bool> crashed_;
   MessageStats stats_;
+  uint64_t generation_ = 0;
 };
 
 }  // namespace fastcommit::net

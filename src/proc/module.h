@@ -20,6 +20,13 @@ class Module {
 
   /// <timer, Timeout> with the tag the timer was set with.
   virtual void OnTimer(int64_t tag) = 0;
+
+  /// Re-arms the module for a fresh execution, restoring construction-time
+  /// state without reallocation. The pooled database layer recycles whole
+  /// protocol stacks across transactions through this hook; hosts guard
+  /// stale timers and deliveries from the previous incarnation with a
+  /// generation counter, so Reset never observes leftover events.
+  virtual void Reset() {}
 };
 
 }  // namespace fastcommit::proc

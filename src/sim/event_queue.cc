@@ -2,9 +2,13 @@
 
 #include <utility>
 
+#include "core/check.h"
+
 namespace fastcommit::sim {
 
 void EventQueue::Push(Time at, EventClass cls, std::function<void()> fn) {
+  FC_CHECK(at >= last_popped_at_)
+      << "event scheduled in the past: " << at << " < " << last_popped_at_;
   Event e;
   e.at = at;
   e.cls = cls;
@@ -18,6 +22,7 @@ Event EventQueue::Pop() {
   // object must be moved out via a copy of the top element.
   Event e = heap_.top();
   heap_.pop();
+  last_popped_at_ = e.at;
   return e;
 }
 

@@ -43,7 +43,10 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
-  /// Inserts an event; `at` must be >= the time of the last popped event.
+  /// Inserts an event; `at` must be >= the time of the last popped event
+  /// (enforced: scheduling into the past would corrupt determinism, and a
+  /// recycled commit instance doing so must fail loudly, not silently
+  /// reorder history).
   void Push(Time at, EventClass cls, std::function<void()> fn);
 
   /// Removes and returns the earliest event. Undefined if empty.
@@ -66,6 +69,7 @@ class EventQueue {
 
   std::priority_queue<Event, std::vector<Event>, Later> heap_;
   uint64_t next_seq_ = 0;
+  Time last_popped_at_ = 0;
 };
 
 }  // namespace fastcommit::sim

@@ -7,8 +7,8 @@
 namespace fastcommit::sim {
 
 void Simulator::ScheduleAt(Time at, EventClass cls, std::function<void()> fn) {
-  FC_CHECK(at >= now_) << "event scheduled in the past: " << at << " < "
-                       << now_;
+  FC_CHECK(at >= now_) << "Simulator::ScheduleAt into the past: " << at
+                       << " < " << now_;
   queue_.Push(at, cls, std::move(fn));
 }
 

@@ -108,7 +108,7 @@ TEST(PaxosCommitTest, RmCrashFallsBackAndAborts) {
   // An RM that dies before voting leaves its instance unprepared; the
   // recovery leader proposes abort for it (the Gray-Lamport rule).
   RunConfig config = MakeNiceConfig(ProtocolKind::kPaxosCommit, 4, 1);
-  config.paxos_commit_acceptors = 3;
+  config.protocol_options.paxos_commit_acceptors = 3;
   config.crashes = {CrashSpec{3, 0, 0}};
   RunResult result = fastcommit::core::Run(config);
   for (int i = 0; i < 3; ++i) {
@@ -118,7 +118,7 @@ TEST(PaxosCommitTest, RmCrashFallsBackAndAborts) {
 
 TEST(PaxosCommitTest, AcceptorCrashWithQuorumStillCommits) {
   RunConfig config = MakeNiceConfig(ProtocolKind::kPaxosCommit, 5, 2);
-  config.paxos_commit_acceptors = 5;
+  config.protocol_options.paxos_commit_acceptors = 5;
   config.crashes = {CrashSpec{1, 0, 50}, CrashSpec{2, 0, 50}};
   RunResult result = fastcommit::core::Run(config);
   PropertyReport report = CheckProperties(config, result);
@@ -157,7 +157,7 @@ TEST(PaxosCommitTest, FastDecisionSurvivesRecoveryRace) {
     RunConfig config =
         MakeNetworkFailureConfig(ProtocolKind::kFasterPaxosCommit, 5, 2,
                                  seed);
-    config.paxos_commit_acceptors = 5;
+    config.protocol_options.paxos_commit_acceptors = 5;
     RunResult result = fastcommit::core::Run(config);
     PropertyReport report = CheckProperties(config, result);
     EXPECT_TRUE(report.agreement) << "seed " << seed;
@@ -168,7 +168,7 @@ TEST(PaxosCommitTest, TableFiveAcceptorAccountingIsConfigurable) {
   // f+1 acceptors reproduce the paper's message count; 2f+1 cost more.
   RunConfig paper = MakeNiceConfig(ProtocolKind::kPaxosCommit, 6, 2);
   RunConfig live = MakeNiceConfig(ProtocolKind::kPaxosCommit, 6, 2);
-  live.paxos_commit_acceptors = 5;
+  live.protocol_options.paxos_commit_acceptors = 5;
   RunResult paper_run = fastcommit::core::Run(paper);
   RunResult live_run = fastcommit::core::Run(live);
   EXPECT_EQ(paper_run.PaperMessageCount(), 6 * 2 + 2 * 6 - 2);

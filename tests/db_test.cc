@@ -230,7 +230,7 @@ TEST(DatabaseTest, LatencyReflectsProtocolDelayCount) {
       tx.ops.push_back(Transaction::Add(ItemKey(i), 1));
     }
     database.Execute(tx);
-    return database.stats().latencies.at(0);
+    return database.stats().latency.sample().at(0);
   };
   EXPECT_EQ(run(core::ProtocolKind::kInbac), 200);
   EXPECT_EQ(run(core::ProtocolKind::kPaxosCommit), 300);
@@ -238,11 +238,28 @@ TEST(DatabaseTest, LatencyReflectsProtocolDelayCount) {
 
 TEST(DatabaseStatsTest, PercentileAndMean) {
   DatabaseStats stats;
-  stats.latencies = {100, 200, 300, 400};
+  for (sim::Time t : {100, 200, 300, 400}) stats.latency.Record(t);
   EXPECT_DOUBLE_EQ(stats.MeanLatency(), 250.0);
   EXPECT_EQ(stats.PercentileLatency(0), 100);
   EXPECT_EQ(stats.PercentileLatency(100), 400);
   EXPECT_GE(stats.PercentileLatency(50), 200);
+}
+
+TEST(DatabaseStatsTest, LatencyMemoryIsBounded) {
+  LatencyStats latency;
+  const int64_t kRecords = 3 * LatencyStats::kReservoirCapacity;
+  for (int64_t i = 1; i <= kRecords; ++i) latency.Record(i);
+  EXPECT_EQ(latency.count(), kRecords);
+  EXPECT_EQ(static_cast<int64_t>(latency.sample().size()),
+            LatencyStats::kReservoirCapacity);
+  // The mean stays exact even past the reservoir capacity.
+  EXPECT_DOUBLE_EQ(latency.Mean(), static_cast<double>(kRecords + 1) / 2.0);
+  EXPECT_EQ(latency.Min(), 1);
+  EXPECT_EQ(latency.Max(), kRecords);
+  // The sampled percentiles approximate the true uniform distribution.
+  EXPECT_NEAR(static_cast<double>(latency.Percentile(50)),
+              static_cast<double>(kRecords) / 2.0,
+              static_cast<double>(kRecords) * 0.1);
 }
 
 TEST(WorkloadTest, TransferWorkloadShapes) {

@@ -19,7 +19,7 @@ TEST(InbacFastAbortTest, FailureFreeAbortFinishesInOneDelay) {
   // can terminate at the end of the first message delay, which is faster
   // than any nice execution."
   RunConfig config = MakeNiceConfig(ProtocolKind::kInbac, 5, 2);
-  config.inbac_fast_abort = true;
+  config.protocol_options.inbac_fast_abort = true;
   config.votes = {Vote::kYes, Vote::kYes, Vote::kNo, Vote::kYes, Vote::kYes};
   RunResult result = fastcommit::core::Run(config);
   for (Decision d : result.decisions) EXPECT_EQ(d, Decision::kAbort);
@@ -32,7 +32,7 @@ TEST(InbacFastAbortTest, FailureFreeAbortFinishesInOneDelay) {
 
 TEST(InbacFastAbortTest, NiceExecutionUnchanged) {
   RunConfig config = MakeNiceConfig(ProtocolKind::kInbac, 6, 2);
-  config.inbac_fast_abort = true;
+  config.protocol_options.inbac_fast_abort = true;
   RunResult result = fastcommit::core::Run(config);
   EXPECT_EQ(result.MessageDelays(), 2);
   EXPECT_EQ(result.PaperMessageCount(), 2 * 2 * 6);
@@ -43,7 +43,7 @@ TEST(InbacFastAbortTest, PropertiesHoldAcrossFailureSweep) {
   for (uint64_t seed = 1; seed <= 40; ++seed) {
     RunConfig config = MakeNetworkFailureConfig(ProtocolKind::kInbac, 5, 2,
                                                 seed);
-    config.inbac_fast_abort = true;
+    config.protocol_options.inbac_fast_abort = true;
     config.votes.assign(5, Vote::kYes);
     if (seed % 2 == 0) config.votes[seed % 5] = Vote::kNo;
     if (seed % 3 == 0) {
@@ -61,7 +61,7 @@ TEST(InbacFastAbortTest, AborterCrashImmediatelyAfterDecidingIsUniform) {
   // The 0-voter decides at time 0 and dies; its broadcast is already on
   // the wire (channels do not lose messages), so the survivors abort too.
   RunConfig config = MakeNiceConfig(ProtocolKind::kInbac, 4, 1);
-  config.inbac_fast_abort = true;
+  config.protocol_options.inbac_fast_abort = true;
   config.votes = {Vote::kNo, Vote::kYes, Vote::kYes, Vote::kYes};
   config.crashes = {CrashSpec{0, 0, 1}};
   RunResult result = fastcommit::core::Run(config);
@@ -77,7 +77,7 @@ TEST(InbacFastAbortTest, AborterCrashImmediatelyAfterDecidingIsUniform) {
 TEST(InbacSplitAcksTest, SameDecisionsManyMoreMessages) {
   RunConfig aggregated = MakeNiceConfig(ProtocolKind::kInbac, 6, 2);
   RunConfig split = aggregated;
-  split.inbac_split_acks = true;
+  split.protocol_options.inbac_split_acks = true;
 
   RunResult a = fastcommit::core::Run(aggregated);
   RunResult s = fastcommit::core::Run(split);
@@ -96,7 +96,7 @@ TEST(InbacSplitAcksTest, SameDecisionsManyMoreMessages) {
 
 TEST(InbacSplitAcksTest, StillDelayOptimal) {
   RunConfig config = MakeNiceConfig(ProtocolKind::kInbac, 5, 2);
-  config.inbac_split_acks = true;
+  config.protocol_options.inbac_split_acks = true;
   RunResult result = fastcommit::core::Run(config);
   EXPECT_EQ(result.MessageDelays(), 2);
 }
@@ -107,7 +107,7 @@ TEST(InbacSplitAcksTest, PropertiesSurviveFragmentReordering) {
   for (uint64_t seed = 1; seed <= 30; ++seed) {
     RunConfig config = MakeNetworkFailureConfig(ProtocolKind::kInbac, 5, 2,
                                                 seed);
-    config.inbac_split_acks = true;
+    config.protocol_options.inbac_split_acks = true;
     RunResult result = fastcommit::core::Run(config);
     PropertyReport report = CheckProperties(config, result);
     EXPECT_TRUE(report.agreement) << "seed " << seed;

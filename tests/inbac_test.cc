@@ -145,7 +145,7 @@ TEST(InbacTest, MessageCountScalesWithBackupCount) {
   // Lemma 1 floor, hence unsafe (see the ablation bench).
   for (int b = 1; b <= 3; ++b) {
     RunConfig config = MakeNiceConfig(ProtocolKind::kInbac, 6, 3);
-    config.inbac_num_backups = b;
+    config.protocol_options.inbac_num_backups = b;
     RunResult result = fastcommit::core::Run(config);
     EXPECT_EQ(result.PaperMessageCount(), 2 * b * 6) << "b=" << b;
     EXPECT_EQ(result.MessageDelays(), 2) << "b=" << b;
@@ -166,7 +166,7 @@ TEST(InbacTest, TooFewBackupsBreaksAgreementUnderAdversarialSchedule) {
   // suffice), find votes missing, propose 0 and abort — disagreement with
   // P4's commit.
   RunConfig config = MakeNiceConfig(ProtocolKind::kInbac, 4, 2);
-  config.inbac_num_backups = 1;
+  config.protocol_options.inbac_num_backups = 1;
   config.delays.kind = DelaySpec::Kind::kScripted;
   // Only two processes stay alive, so majority-based consensus could not
   // terminate; flooding (whose own messages stay timely here) can.

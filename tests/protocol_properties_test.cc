@@ -85,7 +85,7 @@ TEST_P(CrashFailureSweep, SatisfiesCellCrashProperties) {
   // Gray-Lamport liveness: the Paxos-Commit comparators need an acceptor
   // majority to survive f crashes (the sweep generator already excludes
   // configurations where 2f+1 > n for them).
-  config.paxos_commit_acceptors = std::min(2 * c.f + 1, c.n);
+  config.protocol_options.paxos_commit_acceptors = std::min(2 * c.f + 1, c.n);
   config.seed = rng.Next();
 
   RunResult result = fastcommit::core::Run(config);
@@ -121,7 +121,7 @@ TEST_P(NetworkFailureSweep, SatisfiesCellNetworkProperties) {
   config.consensus = ConsensusKind::kPaxos;
   // Gray-Lamport liveness for the Paxos-Commit comparators: enough
   // acceptors that f crashes leave a majority.
-  config.paxos_commit_acceptors = std::min(2 * c.f + 1, c.n);
+  config.protocol_options.paxos_commit_acceptors = std::min(2 * c.f + 1, c.n);
   config.seed = rng.Next();
 
   RunResult result = fastcommit::core::Run(config);

@@ -22,6 +22,17 @@ TEST(EventQueueTest, OrdersByTime) {
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
+TEST(EventQueueDeathTest, PushIntoThePastFailsLoudly) {
+  // The documented precondition is enforced: an event scheduled before the
+  // last popped time (e.g., by a buggy recycled commit instance) must abort
+  // instead of silently corrupting the deterministic order.
+  EventQueue q;
+  q.Push(100, EventClass::kControl, [] {});
+  q.Pop().fn();
+  EXPECT_DEATH(q.Push(50, EventClass::kControl, [] {}),
+               "event scheduled in the past");
+}
+
 TEST(EventQueueTest, DeliveryBeforeTimerAtSameInstant) {
   // Paper Appendix A remark (b): delivery has priority over timeout.
   EventQueue q;

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, and run the tier-1 test suite.
+#
+# Usage:
+#   tools/check.sh            # plain RelWithDebInfo build + ctest
+#   tools/check.sh --asan     # additionally build & test with
+#                             # -DFASTCOMMIT_SANITIZE=address
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$(nproc)"
+  # --no-tests=error: a build where the test targets were silently skipped
+  # (e.g., GTest missing) must fail, not report a green zero-test run.
+  ctest --test-dir "$build_dir" --output-on-failure --no-tests=error \
+    -j "$(nproc)"
+}
+
+run_suite build
+
+if [[ "${1:-}" == "--asan" ]]; then
+  run_suite build-asan -DFASTCOMMIT_SANITIZE=address
+fi
+
+echo "check.sh: all suites passed"

@@ -175,11 +175,11 @@ int main(int argc, char** argv) {
       continue;
     }
     if (ParseFlag(arg, "backups", &value)) {
-      config.inbac_num_backups = std::atoi(value.c_str());
+      config.protocol_options.inbac_num_backups = std::atoi(value.c_str());
       continue;
     }
     if (ParseFlag(arg, "acceptors", &value)) {
-      config.paxos_commit_acceptors = std::atoi(value.c_str());
+      config.protocol_options.paxos_commit_acceptors = std::atoi(value.c_str());
       continue;
     }
     if (ParseFlag(arg, "seed", &value)) {
