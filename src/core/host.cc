@@ -16,7 +16,7 @@ class Host::ChannelEnv : public proc::ProcessEnv {
   int n() const override { return host_->n_; }
   int f() const override { return host_->f_; }
   sim::Time unit() const override { return host_->unit_; }
-  sim::Time Now() const override { return host_->simulator_->Now(); }
+  sim::Time Now() const override { return host_->scheduler_->Now(); }
   sim::Time epoch() const override { return host_->epoch_; }
 
   void Send(net::ProcessId to, net::Message m) override {
@@ -35,7 +35,7 @@ class Host::ChannelEnv : public proc::ProcessEnv {
     // generation, and a timer set under an older generation expires as a
     // no-op (the stale-timer guard of the pooled instance lifecycle).
     uint64_t generation = host_->generation_;
-    host_->simulator_->ScheduleAt(host_->epoch_ + at, sim::EventClass::kTimer,
+    host_->scheduler_->ScheduleAt(host_->epoch_ + at, sim::EventClass::kTimer,
                                   [host, channel, tag, generation]() {
                                     if (generation != host->generation_) return;
                                     host->HandleTimer(channel, tag);
@@ -47,9 +47,9 @@ class Host::ChannelEnv : public proc::ProcessEnv {
   net::Channel channel_;
 };
 
-Host::Host(sim::Simulator* simulator, net::Network* network, net::ProcessId id,
+Host::Host(sim::Scheduler* scheduler, net::Network* network, net::ProcessId id,
            int n, int f, sim::Time unit, sim::Time epoch)
-    : simulator_(simulator),
+    : scheduler_(scheduler),
       network_(network),
       id_(id),
       n_(n),
@@ -59,7 +59,7 @@ Host::Host(sim::Simulator* simulator, net::Network* network, net::ProcessId id,
       commit_env_(std::make_unique<ChannelEnv>(this, net::Channel::kCommit)),
       consensus_env_(
           std::make_unique<ChannelEnv>(this, net::Channel::kConsensus)) {
-  FC_CHECK(simulator != nullptr);
+  FC_CHECK(scheduler != nullptr);
   FC_CHECK(network != nullptr);
   network_->RegisterHandler(id, [this](net::ProcessId from,
                                        const net::Message& m) {

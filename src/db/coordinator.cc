@@ -8,13 +8,13 @@
 
 namespace fastcommit::db {
 
-CommitInstance::CommitInstance(sim::Simulator* simulator,
+CommitInstance::CommitInstance(sim::Scheduler* scheduler,
                                core::ProtocolKind protocol,
                                core::ConsensusKind consensus,
                                const core::ProtocolOptions& protocol_options,
                                sim::Time unit, std::vector<commit::Vote> votes,
                                DoneCallback done)
-    : simulator_(simulator),
+    : scheduler_(scheduler),
       n_(static_cast<int>(votes.size())),
       votes_(std::move(votes)),
       done_(std::move(done)) {
@@ -23,12 +23,12 @@ CommitInstance::CommitInstance(sim::Simulator* simulator,
   int f = std::max(1, (n_ - 1) / 2);
 
   network_ = std::make_unique<net::Network>(
-      simulator, n_, std::make_unique<net::FixedDelayModel>(unit));
+      scheduler, n_, std::make_unique<net::FixedDelayModel>(unit));
 
-  sim::Time epoch = simulator->Now();
+  sim::Time epoch = scheduler->Now();
   hosts_.reserve(static_cast<size_t>(n_));
   for (int i = 0; i < n_; ++i) {
-    hosts_.push_back(std::make_unique<core::Host>(simulator, network_.get(), i,
+    hosts_.push_back(std::make_unique<core::Host>(scheduler, network_.get(), i,
                                                   n_, f, unit, epoch));
   }
   for (int i = 0; i < n_; ++i) {
@@ -44,7 +44,7 @@ CommitInstance::CommitInstance(sim::Simulator* simulator,
           << "agreement violation inside a commit instance";
       decision_ = d;
       if (++decided_count_ == n_) {
-        finish_time_ = simulator_->Now();
+        finish_time_ = scheduler_->Now();
         if (done_) done_(this, decision_);
       }
     });
@@ -66,12 +66,12 @@ void CommitInstance::Reset(std::vector<commit::Vote> votes,
   start_time_ = -1;
   finish_time_ = -1;
   network_->ResetEpoch();
-  sim::Time epoch = simulator_->Now();
+  sim::Time epoch = scheduler_->Now();
   for (auto& host : hosts_) host->Reset(epoch);
 }
 
 void CommitInstance::Start() {
-  start_time_ = simulator_->Now();
+  start_time_ = scheduler_->Now();
   for (int i = 0; i < n_; ++i) {
     hosts_[static_cast<size_t>(i)]->Propose(votes_[static_cast<size_t>(i)]);
   }

@@ -10,14 +10,14 @@
 #include "core/runner.h"
 #include "db/transaction.h"
 #include "net/network.h"
-#include "sim/simulator.h"
+#include "sim/scheduler.h"
 
 namespace fastcommit::db {
 
 /// One atomic-commit round among the partitions touched by one transaction.
 ///
 /// The instance owns a cluster — its own Network and Hosts over the shared
-/// simulator — whose processes 0..n-1 correspond to the touched partitions
+/// scheduler — whose processes 0..n-1 correspond to the touched partitions
 /// in order. The epoch of every host is the instant Start() (or Reset()) is
 /// called, so the protocols' absolute-time pseudocode runs unmodified in
 /// the middle of a long database simulation.
@@ -51,7 +51,7 @@ class CommitInstance {
   using DoneCallback =
       std::function<void(CommitInstance* instance, commit::Decision decision)>;
 
-  CommitInstance(sim::Simulator* simulator, core::ProtocolKind protocol,
+  CommitInstance(sim::Scheduler* scheduler, core::ProtocolKind protocol,
                  core::ConsensusKind consensus,
                  const core::ProtocolOptions& protocol_options, sim::Time unit,
                  std::vector<commit::Vote> votes, DoneCallback done);
@@ -69,6 +69,10 @@ class CommitInstance {
 
   bool finished() const { return decided_count_ == n_; }
   int n() const { return n_; }
+  /// Pool-assigned shard key of the scheduler this instance is bound to
+  /// (an instance never migrates; see db/instance_pool.h).
+  int shard_key() const { return shard_key_; }
+  void set_shard_key(int shard_key) { shard_key_ = shard_key; }
   sim::Time start_time() const { return start_time_; }
   sim::Time finish_time() const { return finish_time_; }
   /// Network messages this incarnation exchanged (protocol + consensus).
@@ -79,8 +83,9 @@ class CommitInstance {
   }
 
  private:
-  sim::Simulator* simulator_;
+  sim::Scheduler* scheduler_;
   int n_;
+  int shard_key_ = 0;
   std::vector<commit::Vote> votes_;
   DoneCallback done_;
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
 #include <utility>
 
 #include "core/check.h"
@@ -21,6 +20,7 @@ void LatencyStats::Record(sim::Time latency) {
   ++count_;
   if (static_cast<int64_t>(sample_.size()) < kReservoirCapacity) {
     sample_.push_back(latency);
+    sorted_dirty_ = true;
     return;
   }
   // Algorithm R: the i-th record (1-based) replaces a random slot with
@@ -28,6 +28,7 @@ void LatencyStats::Record(sim::Time latency) {
   uint64_t slot = rng_.Next() % static_cast<uint64_t>(count_);
   if (slot < static_cast<uint64_t>(kReservoirCapacity)) {
     sample_[static_cast<size_t>(slot)] = latency;
+    sorted_dirty_ = true;
   }
 }
 
@@ -38,11 +39,14 @@ double LatencyStats::Mean() const {
 
 sim::Time LatencyStats::Percentile(double p) const {
   if (sample_.empty()) return 0;
-  std::vector<sim::Time> sorted = sample_;
-  std::sort(sorted.begin(), sorted.end());
-  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  if (sorted_dirty_) {
+    sorted_ = sample_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_dirty_ = false;
+  }
+  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
   size_t index = static_cast<size_t>(rank);
-  return sorted[std::min(index, sorted.size() - 1)];
+  return sorted_[std::min(index, sorted_.size() - 1)];
 }
 
 bool DatabaseStats::operator==(const DatabaseStats& other) const {
@@ -53,11 +57,28 @@ bool DatabaseStats::operator==(const DatabaseStats& other) const {
          latency == other.latency && makespan == other.makespan;
 }
 
+namespace {
+
+sim::ShardedSimulator::Options SimOptions(const Database::Options& options) {
+  sim::ShardedSimulator::Options sim_options;
+  sim_options.num_shards = options.num_shards;
+  sim_options.num_threads = options.num_threads;
+  // The only control events scheduled from completion effects are retries,
+  // and the earliest retry lands backoff >= unit * retry_backoff_units + 1
+  // ticks after the decide instant (attempt >= 1, random part >= 1). That
+  // bound is the merge rule's safe run-ahead window.
+  sim_options.lookahead = options.unit * options.retry_backoff_units + 1;
+  return sim_options;
+}
+
+}  // namespace
+
 Database::Database(const Options& options)
     : options_(options),
+      sim_(SimOptions(options)),
       rng_(options.seed),
-      pool_(&simulator_, options.protocol, options.consensus,
-            options.protocol_options, options.unit, options.pool_instances) {
+      pool_(options.protocol, options.consensus, options.protocol_options,
+            options.unit, options.pool_instances) {
   FC_CHECK(options.num_partitions >= 1) << "need at least one partition";
   partitions_.reserve(static_cast<size_t>(options.num_partitions));
   for (int i = 0; i < options.num_partitions; ++i) {
@@ -78,35 +99,53 @@ Participant& Database::partition(int index) {
   return *partitions_[static_cast<size_t>(index)];
 }
 
-void Database::Submit(Transaction tx, sim::Time at_ticks) {
+int Database::ShardOf(TxId id) const {
+  // One stateless draw from the repo's canonical splitmix64 stream seeded
+  // by the id: adjacent ids spread uniformly over shards, and the mapping
+  // depends only on the id — never on arrival order or shard load — so
+  // placement is reproducible run to run.
+  return static_cast<int>(sim::Rng(static_cast<uint64_t>(id)).Next() %
+                          static_cast<uint64_t>(sim_.num_shards()));
+}
+
+void Database::Submit(Transaction tx, sim::Time at_ticks,
+                      CompletionCallback on_complete) {
   ++inflight_;
-  PendingTx pending{std::move(tx), 1};
-  simulator_.ScheduleAt(std::max(at_ticks, simulator_.Now()),
-                        sim::EventClass::kControl,
-                        [this, pending = std::move(pending)]() mutable {
-                          Execute(std::move(pending));
-                        });
+  PendingTx pending{std::move(tx), 1, std::move(on_complete)};
+  sim_.control()->ScheduleAt(std::max(at_ticks, sim_.Now()),
+                             sim::EventClass::kControl,
+                             [this, pending = std::move(pending)]() mutable {
+                               Execute(std::move(pending));
+                             });
 }
 
 void Database::Execute(PendingTx pending) {
-  // Route ops to partitions.
-  std::map<int, std::vector<Op>> by_partition;
-  for (const Op& op : pending.tx.ops) {
-    by_partition[PartitionOf(op.key)].push_back(op);
+  // Route ops to partitions: sort (partition, op index) pairs in a reused
+  // flat buffer. The index tiebreak keeps each partition's ops in
+  // program order, matching the old map-of-vectors grouping without its
+  // per-transaction node allocations.
+  const std::vector<Op>& ops = pending.tx.ops;
+  FC_CHECK(!ops.empty()) << "empty transaction";
+  route_.clear();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    route_.emplace_back(PartitionOf(ops[i].key), static_cast<int>(i));
   }
-  FC_CHECK(!by_partition.empty()) << "empty transaction";
+  std::sort(route_.begin(), route_.end());
 
   std::vector<int> touched;
   std::vector<commit::Vote> votes;
-  touched.reserve(by_partition.size());
-  votes.reserve(by_partition.size());
-  for (const auto& [partition_id, ops] : by_partition) {
+  for (size_t i = 0; i < route_.size();) {
+    int partition_id = route_[i].first;
+    group_ops_.clear();
+    for (; i < route_.size() && route_[i].first == partition_id; ++i) {
+      group_ops_.push_back(ops[static_cast<size_t>(route_[i].second)]);
+    }
     touched.push_back(partition_id);
     votes.push_back(partitions_[static_cast<size_t>(partition_id)]->Prepare(
-        pending.tx.id, ops));
+        pending.tx.id, group_ops_));
   }
 
-  sim::Time started = simulator_.Now();
+  sim::Time started = sim_.control()->Now();
 
   if (touched.size() == 1) {
     // One-phase commit: the only participant's vote is the decision.
@@ -114,26 +153,41 @@ void Database::Execute(PendingTx pending) {
                              ? commit::Decision::kCommit
                              : commit::Decision::kAbort;
     if (d == commit::Decision::kCommit) ++stats_.single_partition;
-    FinishTx(pending, touched, d, started);
+    FinishTx(pending, touched, d, started, started);
     return;
   }
 
+  int shard = ShardOf(pending.tx.id);
   CommitInstance* instance = pool_.Acquire(
-      std::move(votes),
-      [this, pending, touched, started](CommitInstance* done_instance,
-                                        commit::Decision decision) {
-        // Count the round's traffic at decision time — after Release the
-        // per-epoch counters belong to the next incarnation.
-        stats_.commit_messages += done_instance->messages();
-        pool_.Release(done_instance);
-        FinishTx(pending, touched, decision, started);
+      shard, sim_.shard(shard), std::move(votes),
+      [this, shard, pending = std::move(pending), touched = std::move(touched),
+       started](CommitInstance* done_instance,
+                commit::Decision decision) mutable {
+        // Runs on the shard (possibly a worker thread) at the decide
+        // instant: snapshot the instance-local results here — after Release
+        // the per-epoch counters belong to the next incarnation — and defer
+        // everything that touches shared state to a canonical-order
+        // completion effect on the control plane.
+        int64_t messages = done_instance->messages();
+        sim::Time finished = done_instance->finish_time();
+        uint64_t effect_key = static_cast<uint64_t>(pending.tx.id);
+        sim_.PostEffect(
+            shard, finished, effect_key,
+            [this, done_instance, messages, decision,
+             pending = std::move(pending), touched = std::move(touched),
+             started, finished]() {
+              stats_.commit_messages += messages;
+              pool_.Release(done_instance);
+              FinishTx(pending, touched, decision, started, finished);
+            });
       });
   instance->Start();
 }
 
 void Database::FinishTx(const PendingTx& pending,
                         const std::vector<int>& touched,
-                        commit::Decision decision, sim::Time started) {
+                        commit::Decision decision, sim::Time started,
+                        sim::Time finished_at) {
   for (int partition_id : touched) {
     partitions_[static_cast<size_t>(partition_id)]->Finish(pending.tx.id,
                                                            decision);
@@ -141,42 +195,52 @@ void Database::FinishTx(const PendingTx& pending,
   if (decision == commit::Decision::kCommit) {
     ++stats_.committed;
     if (touched.size() > 1) {
-      stats_.latency.Record(simulator_.Now() - started);
+      stats_.latency.Record(finished_at - started);
     }
+    if (pending.on_complete) pending.on_complete(pending.tx, decision);
     --inflight_;
     return;
   }
   // Abort: retry with linear backoff, or give up.
   if (pending.attempt >= options_.max_attempts) {
     ++stats_.aborted;
+    if (pending.on_complete) pending.on_complete(pending.tx, decision);
     --inflight_;
     return;
   }
   ++stats_.retries;
-  PendingTx retry{pending.tx, pending.attempt + 1};
+  PendingTx retry{pending.tx, pending.attempt + 1, pending.on_complete};
   sim::Time backoff =
       options_.unit * options_.retry_backoff_units * pending.attempt +
       static_cast<sim::Time>(rng_.UniformInt(1, options_.unit));
-  simulator_.ScheduleAt(simulator_.Now() + backoff, sim::EventClass::kControl,
-                        [this, retry = std::move(retry)]() mutable {
-                          Execute(std::move(retry));
-                        });
+  sim_.control()->ScheduleAt(finished_at + backoff, sim::EventClass::kControl,
+                             [this, retry = std::move(retry)]() mutable {
+                               Execute(std::move(retry));
+                             });
 }
 
 const DatabaseStats& Database::Drain() {
-  simulator_.Run();
+  sim_.Run();
   FC_CHECK(inflight_ == 0) << "transactions still pending after drain";
-  stats_.makespan = simulator_.Now();
+  stats_.makespan = sim_.Now();
   return stats_;
 }
 
 commit::Decision Database::Execute(Transaction tx) {
-  // Find the decision by observing the committed-count delta.
-  int64_t committed_before = stats_.committed;
-  Submit(std::move(tx), simulator_.Now());
+  commit::Decision decision = commit::Decision::kNone;
+  Submit(std::move(tx), sim_.Now(),
+         [&decision](const Transaction&, commit::Decision d) { decision = d; });
   Drain();
-  return stats_.committed > committed_before ? commit::Decision::kCommit
-                                             : commit::Decision::kAbort;
+  FC_CHECK(decision != commit::Decision::kNone)
+      << "submitted transaction never reported a decision";
+  return decision;
+}
+
+int64_t Database::TrimPool() {
+  FC_CHECK(sim_.idle())
+      << "TrimPool between drains only: pending events may reference "
+         "pooled instances";
+  return pool_.Trim();
 }
 
 int64_t Database::GetInt(const Key& key) {

@@ -2,7 +2,9 @@
 #define FASTCOMMIT_DB_DATABASE_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/protocol_kind.h"
@@ -12,7 +14,7 @@
 #include "db/participant.h"
 #include "db/transaction.h"
 #include "sim/rng.h"
-#include "sim/simulator.h"
+#include "sim/sharded_simulator.h"
 
 namespace fastcommit::db {
 
@@ -33,7 +35,11 @@ class LatencyStats {
   double Mean() const;
   sim::Time Min() const { return count_ == 0 ? 0 : min_; }
   sim::Time Max() const { return count_ == 0 ? 0 : max_; }
-  /// Percentile estimate over the reservoir sample; p in [0, 100].
+  /// Percentile estimate over the reservoir sample; p in [0, 100]. The
+  /// sorted view is computed lazily and cached until the next Record that
+  /// changes the sample, so sweeping many percentiles (the bench tables
+  /// query several per protocol) sorts the 4096-entry reservoir once, not
+  /// once per call.
   sim::Time Percentile(double p) const;
 
   const std::vector<sim::Time>& sample() const { return sample_; }
@@ -53,6 +59,10 @@ class LatencyStats {
   sim::Time min_ = 0;
   sim::Time max_ = 0;
   std::vector<sim::Time> sample_;
+  /// Lazily sorted copy of `sample_`; valid while !sorted_dirty_. Excluded
+  /// from equality (it is derived state).
+  mutable std::vector<sim::Time> sorted_;
+  mutable bool sorted_dirty_ = true;
   /// Dedicated stream for the reservoir's replacement draws, fixed seed so
   /// equal record sequences produce equal samples (the equality operator
   /// compares the sample itself, not this state).
@@ -60,8 +70,9 @@ class LatencyStats {
 };
 
 /// Aggregate results of a database run. Memory is O(1) in transaction
-/// count; equality compares every workload-visible field, which the
-/// pooling determinism gate relies on (tests/db_pool_test.cc).
+/// count; equality compares every workload-visible field, which both
+/// determinism gates rely on (tests/db_pool_test.cc for pooled vs rebuild,
+/// tests/db_shard_test.cc for shard counts and threaded drains).
 struct DatabaseStats {
   int64_t committed = 0;
   int64_t aborted = 0;           ///< gave up after max_attempts
@@ -93,13 +104,31 @@ struct DatabaseStats {
 ///   2. each touched partition prepares locally: acquires no-wait locks and
 ///      stages writes, voting yes/no (Helios-style conflict voting);
 ///   3. a commit instance of the configured protocol — acquired from a pool
-///      keyed by cluster size, see db/instance_pool.h — runs among the
-///      touched partitions over the shared virtual-time simulator;
+///      keyed by (shard, cluster size), see db/instance_pool.h — runs among
+///      the touched partitions on the shard chosen by the transaction id;
 ///   4. on commit, staged writes apply; on abort, the transaction retries
 ///      with backoff up to max_attempts.
 /// Single-partition transactions skip the protocol (one-phase commit).
+///
+/// ## Sharded execution
+///
+/// The runtime is a sim::ShardedSimulator: the submit/execute/retry/finish
+/// path runs on the control plane, and each commit instance's whole cluster
+/// (hosts + network links) runs on the shard derived deterministically from
+/// the transaction id. Commit instances never exchange cross-instance
+/// messages (the paper's model advances time only on message delays within
+/// one instance), so shards interact with the control plane only through
+/// canonical-ordered completion effects — DatabaseStats for a given seed is
+/// bitwise identical for any shard count and for threaded vs
+/// single-threaded drains.
 class Database {
  public:
+  /// Final outcome of a submitted transaction: the protocol's real
+  /// commit::Decision (after any retries), delivered from FinishTx. Runs on
+  /// the drain thread; must not call Submit or Drain.
+  using CompletionCallback =
+      std::function<void(const Transaction& tx, commit::Decision decision)>;
+
   struct Options {
     int num_partitions = 4;
     core::ProtocolKind protocol = core::ProtocolKind::kInbac;
@@ -115,6 +144,13 @@ class Database {
     /// kept for the throughput bench's --no-pool comparison and the
     /// determinism regression gate.
     bool pool_instances = true;
+    /// Event-queue shards for commit instances. 1 = the single-queue
+    /// baseline. Any value yields bitwise-identical DatabaseStats for the
+    /// same seed.
+    int num_shards = 1;
+    /// Threads draining shards in parallel (1 = single-threaded). Also
+    /// stats-invariant.
+    int num_threads = 1;
   };
 
   explicit Database(const Options& options);
@@ -125,16 +161,28 @@ class Database {
   int num_partitions() const { return options_.num_partitions; }
   int PartitionOf(const Key& key) const;
   Participant& partition(int index);
+  /// Shard that will host the commit instance of transaction `id`
+  /// (deterministic in the id, independent of submission order).
+  int ShardOf(TxId id) const;
 
   /// Schedules `tx` for execution at virtual time `at_ticks` (>= Now()).
-  void Submit(Transaction tx, sim::Time at_ticks);
+  /// `on_complete`, if set, fires once with the transaction's final
+  /// decision (kCommit, or kAbort after max_attempts).
+  void Submit(Transaction tx, sim::Time at_ticks,
+              CompletionCallback on_complete = nullptr);
 
   /// Runs the simulation until every submitted transaction finished.
   const DatabaseStats& Drain();
 
   /// Submits `tx` now, drains, and returns its decision — the one-liner
-  /// used by the quickstart example.
+  /// used by the quickstart example. The decision is the protocol's own,
+  /// plumbed back through FinishTx (not inferred from counters).
   commit::Decision Execute(Transaction tx);
+
+  /// Shrinks the instance pool to its recent high-water mark (see
+  /// CommitInstancePool::Trim). Only valid between drains, when no stale
+  /// events can reference pooled instances; returns instances destroyed.
+  int64_t TrimPool();
 
   /// Cross-partition numeric read (outside any transaction).
   int64_t GetInt(const Key& key);
@@ -144,32 +192,42 @@ class Database {
   int64_t SumInts();
 
   const DatabaseStats& stats() const { return stats_; }
-  /// Commit-instance pool counters (created/reused/live/peak_live) —
-  /// deliberately outside DatabaseStats, which must be identical between
-  /// pooled and baseline runs of the same seed.
+  /// Commit-instance pool counters (created/reused/live/peak_live/trimmed)
+  /// — deliberately outside DatabaseStats, which must be identical between
+  /// pooled and baseline runs (and across shard counts) of the same seed.
   const CommitInstancePool::Stats& pool_stats() const {
     return pool_.stats();
   }
-  sim::Time Now() const { return simulator_.Now(); }
+  sim::Time Now() const { return sim_.Now(); }
 
  private:
   struct PendingTx {
     Transaction tx;
     int attempt = 0;
+    CompletionCallback on_complete;
   };
 
   void Execute(PendingTx pending);
+  /// `finished_at` is the commit instance's decide instant (== `started`
+  /// for single-partition transactions); all stats and the retry schedule
+  /// derive from it, not from any queue's transient clock.
   void FinishTx(const PendingTx& pending,
                 const std::vector<int>& touched_partitions,
-                commit::Decision decision, sim::Time started);
+                commit::Decision decision, sim::Time started,
+                sim::Time finished_at);
 
   Options options_;
-  sim::Simulator simulator_;
+  sim::ShardedSimulator sim_;
   sim::Rng rng_;
   std::vector<std::unique_ptr<Participant>> partitions_;
   CommitInstancePool pool_;
   DatabaseStats stats_;
   int64_t inflight_ = 0;
+  /// Reused routing scratch (control plane only): (partition, op index)
+  /// pairs sorted by partition — replaces a per-transaction
+  /// std::map<int, std::vector<Op>> on the hot path.
+  std::vector<std::pair<int, int>> route_;
+  std::vector<Op> group_ops_;  ///< reused per-partition op batch for Prepare
 };
 
 }  // namespace fastcommit::db

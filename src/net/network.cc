@@ -7,14 +7,14 @@
 
 namespace fastcommit::net {
 
-Network::Network(sim::Simulator* simulator, int n,
+Network::Network(sim::Scheduler* scheduler, int n,
                  std::unique_ptr<DelayModel> delays)
-    : simulator_(simulator),
+    : scheduler_(scheduler),
       n_(n),
       delays_(std::move(delays)),
       handlers_(static_cast<size_t>(n)),
       crashed_(static_cast<size_t>(n), false) {
-  FC_CHECK(simulator_ != nullptr);
+  FC_CHECK(scheduler_ != nullptr);
   FC_CHECK(n >= 1) << "network needs at least one process";
   FC_CHECK(delays_ != nullptr);
 }
@@ -35,18 +35,18 @@ void Network::Send(ProcessId from, ProcessId to, Message msg) {
     // Local step: delivered at the same instant, not a network message
     // (paper footnote 10). Still goes through the event queue so the current
     // handler finishes first.
-    simulator_->ScheduleAt(simulator_->Now(), sim::EventClass::kDelivery,
+    scheduler_->ScheduleAt(scheduler_->Now(), sim::EventClass::kDelivery,
                            [this, generation, from, to, shared]() {
                              Deliver(generation, -1, from, to, shared);
                            });
     return;
   }
 
-  sim::Time now = simulator_->Now();
+  sim::Time now = scheduler_->Now();
   int64_t seq = stats_.RecordSend(from, to, now, shared->channel, shared->kind);
   sim::Time delay = delays_->DelayFor(from, to, now, seq);
   FC_CHECK(delay >= 1) << "delay model returned non-positive delay";
-  simulator_->ScheduleAt(now + delay, sim::EventClass::kDelivery,
+  scheduler_->ScheduleAt(now + delay, sim::EventClass::kDelivery,
                          [this, generation, seq, from, to, shared]() {
                            Deliver(generation, seq, from, to, shared);
                          });
@@ -80,10 +80,10 @@ void Network::Deliver(uint64_t generation, int64_t seq, ProcessId from,
   // has been recycled; its trace record is gone too. Drop silently.
   if (generation != generation_) return;
   if (crashed_[static_cast<size_t>(to)]) {
-    if (seq >= 0) stats_.RecordDrop(seq, simulator_->Now());
+    if (seq >= 0) stats_.RecordDrop(seq, scheduler_->Now());
     return;
   }
-  if (seq >= 0) stats_.RecordDelivery(seq, simulator_->Now());
+  if (seq >= 0) stats_.RecordDelivery(seq, scheduler_->Now());
   const Handler& handler = handlers_[static_cast<size_t>(to)];
   FC_CHECK(handler != nullptr) << "no handler registered for process " << to;
   handler(from, *msg);

@@ -12,12 +12,6 @@ void Simulator::ScheduleAt(Time at, EventClass cls, std::function<void()> fn) {
   queue_.Push(at, cls, std::move(fn));
 }
 
-void Simulator::ScheduleAfter(Time delay, EventClass cls,
-                              std::function<void()> fn) {
-  FC_CHECK(delay >= 0) << "negative delay: " << delay;
-  queue_.Push(now_ + delay, cls, std::move(fn));
-}
-
 int64_t Simulator::Run(Time deadline) {
   int64_t executed = 0;
   while (Step(deadline)) ++executed;
@@ -31,6 +25,14 @@ bool Simulator::Step(Time deadline) {
   ++events_executed_;
   e.fn();
   return true;
+}
+
+void Simulator::AdvanceTo(Time at) {
+  if (at <= now_) return;
+  FC_CHECK(queue_.empty() || queue_.PeekTime() >= at)
+      << "AdvanceTo(" << at << ") would skip a pending event at "
+      << queue_.PeekTime();
+  now_ = at;
 }
 
 }  // namespace fastcommit::sim

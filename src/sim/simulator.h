@@ -5,30 +5,31 @@
 #include <functional>
 
 #include "sim/event_queue.h"
+#include "sim/scheduler.h"
 #include "sim/sim_time.h"
 
 namespace fastcommit::sim {
 
-/// Discrete-event simulator with a virtual clock.
-///
-/// All components of an execution (network links, process timers, crash
-/// injection) schedule callbacks here. `Run` drains the queue in
+/// Discrete-event simulator with a virtual clock: one event queue drained in
 /// deterministic order; local computation is instantaneous, matching the
 /// paper's complexity model in which only message delays advance time.
-class Simulator {
+///
+/// All components of an execution (network links, process timers, crash
+/// injection) schedule callbacks through the Scheduler interface. A
+/// standalone run owns one Simulator; the sharded database runtime
+/// (sim/sharded_simulator.h) owns one per shard plus one for the control
+/// plane and merges them deterministically.
+class Simulator : public Scheduler {
  public:
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   /// Current virtual time.
-  Time Now() const { return now_; }
+  Time Now() const override { return now_; }
 
   /// Schedules `fn` at absolute time `at` (>= Now()).
-  void ScheduleAt(Time at, EventClass cls, std::function<void()> fn);
-
-  /// Schedules `fn` after `delay` ticks (>= 0).
-  void ScheduleAfter(Time delay, EventClass cls, std::function<void()> fn);
+  void ScheduleAt(Time at, EventClass cls, std::function<void()> fn) override;
 
   /// Executes events in order until the queue is empty or the next event is
   /// later than `deadline`. Returns the number of events executed.
@@ -37,7 +38,19 @@ class Simulator {
   /// Executes at most one event (if any is due by `deadline`).
   bool Step(Time deadline = kMaxTime);
 
-  bool idle() const { return queue_.empty(); }
+  /// Time of the earliest pending event; kMaxTime when idle. The sharded
+  /// merge loop uses this to pick the next safe horizon.
+  Time NextEventTime() const {
+    return queue_.empty() ? kMaxTime : queue_.PeekTime();
+  }
+
+  /// Moves the clock forward to `at` without executing anything. Requires
+  /// every pending event to be at or after `at` — the sharded runtime syncs
+  /// an (already drained) shard clock to the control plane's instant before
+  /// injecting work, so a recycled instance reads a deterministic epoch.
+  void AdvanceTo(Time at);
+
+  bool idle() const override { return queue_.empty(); }
   int64_t events_executed() const { return events_executed_; }
 
  private:

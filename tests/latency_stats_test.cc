@@ -1,0 +1,98 @@
+// Unit tests for the bounded-memory latency accounting (db::LatencyStats):
+// reservoir fill boundary, percentile lookup and its lazy sorted cache,
+// and determinism of equal record sequences.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "db/database.h"
+#include "sim/rng.h"
+
+namespace fastcommit::db {
+namespace {
+
+TEST(LatencyStatsTest, EmptyStatsReadAsZero) {
+  LatencyStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.Mean(), 0.0);
+  EXPECT_EQ(stats.Min(), 0);
+  EXPECT_EQ(stats.Max(), 0);
+  EXPECT_EQ(stats.Percentile(50), 0);
+}
+
+TEST(LatencyStatsTest, ReservoirFillBoundary) {
+  LatencyStats stats;
+  // Exactly at capacity every record is retained, in order.
+  for (int64_t i = 1; i <= LatencyStats::kReservoirCapacity; ++i) {
+    stats.Record(i);
+  }
+  ASSERT_EQ(static_cast<int64_t>(stats.sample().size()),
+            LatencyStats::kReservoirCapacity);
+  EXPECT_EQ(stats.sample().front(), 1);
+  EXPECT_EQ(stats.sample().back(), LatencyStats::kReservoirCapacity);
+  EXPECT_EQ(stats.Percentile(0), 1);
+  EXPECT_EQ(stats.Percentile(100), LatencyStats::kReservoirCapacity);
+
+  // One past capacity: the sample stays fixed-size while the exact
+  // aggregates keep tracking every record.
+  stats.Record(LatencyStats::kReservoirCapacity + 1);
+  EXPECT_EQ(static_cast<int64_t>(stats.sample().size()),
+            LatencyStats::kReservoirCapacity);
+  EXPECT_EQ(stats.count(), LatencyStats::kReservoirCapacity + 1);
+  EXPECT_EQ(stats.Max(), LatencyStats::kReservoirCapacity + 1);
+  EXPECT_DOUBLE_EQ(
+      stats.Mean(),
+      static_cast<double>(LatencyStats::kReservoirCapacity + 2) / 2.0);
+}
+
+TEST(LatencyStatsTest, PercentileUsesLowerRankOfTheSortedSample) {
+  LatencyStats stats;
+  for (sim::Time t : {400, 100, 300, 200}) stats.Record(t);
+  // rank = p/100 * (n-1), truncated: P50 of 4 values is index 1.
+  EXPECT_EQ(stats.Percentile(0), 100);
+  EXPECT_EQ(stats.Percentile(50), 200);
+  EXPECT_EQ(stats.Percentile(75), 300);
+  EXPECT_EQ(stats.Percentile(100), 400);
+}
+
+// Regression for the lazy sorted cache: a Record between Percentile calls
+// must invalidate it, and repeated queries must agree.
+TEST(LatencyStatsTest, PercentileCacheInvalidatedByRecord) {
+  LatencyStats stats;
+  stats.Record(100);
+  EXPECT_EQ(stats.Percentile(100), 100);
+  stats.Record(900);
+  EXPECT_EQ(stats.Percentile(100), 900);
+  EXPECT_EQ(stats.Percentile(0), 100);
+  stats.Record(50);
+  EXPECT_EQ(stats.Percentile(0), 50);
+  EXPECT_EQ(stats.Percentile(0), 50) << "repeated queries must be stable";
+  EXPECT_EQ(stats.Percentile(100), 900);
+}
+
+TEST(LatencyStatsTest, EqualRecordSequencesAreBitwiseEqual) {
+  LatencyStats a;
+  LatencyStats b;
+  sim::Rng values(1234);
+  std::vector<sim::Time> sequence;
+  for (int64_t i = 0; i < 3 * LatencyStats::kReservoirCapacity; ++i) {
+    sequence.push_back(values.UniformInt(1, 100000));
+  }
+  for (sim::Time t : sequence) a.Record(t);
+  // Interleave percentile queries on b only: derived-cache state must not
+  // leak into equality or the sample.
+  int64_t i = 0;
+  for (sim::Time t : sequence) {
+    b.Record(t);
+    if (++i % 1000 == 0) b.Percentile(99);
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.sample(), b.sample());
+  for (double p : {0.0, 25.0, 50.0, 90.0, 99.0, 100.0}) {
+    EXPECT_EQ(a.Percentile(p), b.Percentile(p));
+  }
+}
+
+}  // namespace
+}  // namespace fastcommit::db
