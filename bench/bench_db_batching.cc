@@ -1,0 +1,171 @@
+// Batched commit rounds: protocol-message amortization vs added latency,
+// swept over batching window size x commit protocol x workload.
+//
+// With batch_window > 0, multi-partition transactions prepared within the
+// window that touch the same partition set share one commit round (one
+// CommitInstance, one protocol execution), and the round commits exactly
+// its all-Yes members — see db/database.h. This bench measures, per
+// (protocol, workload, window):
+//   - commit messages per committed transaction (the amortization win);
+//   - mean and p99 commit latency in ticks (the cost: early members wait
+//     for the flush);
+//   - rounds run and how many members shared a round.
+//
+// It doubles as a determinism gate and exits nonzero when either fails:
+//   - for every swept window, DatabaseStats must be bitwise identical when
+//     the same run is placed on 4 shards with 2 worker threads;
+//   - with the largest window, messages per committed transaction must be
+//     strictly lower than with batching disabled, on every protocol and
+//     workload.
+//
+// Usage:
+//   bench_db_batching [--txs N] [--threads M]
+//
+// Default: N = 100000, M = 2 (threads for the placement-check runs).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "db/database.h"
+#include "db/workload.h"
+
+namespace fastcommit::bench {
+namespace {
+
+constexpr int kBurst = 256;                // txs admitted at one instant
+constexpr sim::Time kMeanArrivalGap = 40;  // ticks per tx, long-run average
+
+struct WorkloadSpec {
+  const char* name;
+  std::vector<db::Transaction> (*make)(int num_txs, uint64_t seed);
+};
+
+std::vector<db::Transaction> MakeTransfer(int num_txs, uint64_t seed) {
+  return db::MakeTransferWorkload(num_txs, /*num_accounts=*/2000,
+                                  /*max_amount=*/50, seed);
+}
+
+std::vector<db::Transaction> MakeHotspot(int num_txs, uint64_t seed) {
+  return db::MakeHotspotWorkload(num_txs, /*num_keys=*/2000,
+                                 /*keys_per_tx=*/3, /*hot_keys=*/16,
+                                 /*hot_probability=*/0.2, seed);
+}
+
+struct Result {
+  db::DatabaseStats stats;
+  db::Database::BatchStats batch;
+};
+
+Result RunOne(core::ProtocolKind protocol, const WorkloadSpec& workload,
+              int num_txs, sim::Time window, int shards, int threads) {
+  db::Database::Options options;
+  options.num_partitions = 4;  // few partition sets => batches actually form
+  options.protocol = protocol;
+  options.batch_window = window;
+  options.num_shards = shards;
+  options.num_threads = threads;
+  db::Database database(options);
+
+  auto txs = workload.make(num_txs, /*seed=*/42);
+  sim::Time at = 0;
+  int in_burst = 0;
+  for (auto& tx : txs) {
+    database.Submit(std::move(tx), at);
+    if (++in_burst == kBurst) {
+      in_burst = 0;
+      at += kBurst * kMeanArrivalGap;
+    }
+  }
+  Result result;
+  result.stats = database.Drain();
+  result.batch = database.batch_stats();
+  return result;
+}
+
+double MsgsPerCommit(const Result& r) {
+  return r.stats.committed == 0
+             ? 0.0
+             : static_cast<double>(r.stats.commit_messages) /
+                   static_cast<double>(r.stats.committed);
+}
+
+void PrintResult(sim::Time window, const Result& r, bool identical) {
+  std::printf(
+      "  window %5lld  %8lld committed  %6.2f msgs/commit  "
+      "mean %7.0f  p99 %6lld  rounds %7lld  batched %7lld  stats %s\n",
+      static_cast<long long>(window),
+      static_cast<long long>(r.stats.committed), MsgsPerCommit(r),
+      r.stats.MeanLatency(),
+      static_cast<long long>(r.stats.PercentileLatency(99)),
+      static_cast<long long>(r.batch.rounds),
+      static_cast<long long>(r.batch.batched_txs),
+      identical ? "identical" : "DIVERGED");
+}
+
+}  // namespace
+}  // namespace fastcommit::bench
+
+int main(int argc, char** argv) {
+  using namespace fastcommit;
+  using namespace fastcommit::bench;
+
+  int num_txs = 100000;
+  int threads = 2;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--txs") == 0 && i + 1 < argc) {
+      num_txs = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+    } else {
+      std::fprintf(stderr, "usage: %s [--txs N] [--threads M]\n", argv[0]);
+      return 1;
+    }
+  }
+
+  const core::ProtocolKind kProtocols[] = {
+      core::ProtocolKind::kInbac,
+      core::ProtocolKind::kTwoPc,
+      core::ProtocolKind::kPaxosCommit,
+  };
+  const WorkloadSpec kWorkloads[] = {
+      {"transfer", MakeTransfer},
+      {"hotspot", MakeHotspot},
+  };
+  const sim::Time kWindows[] = {0, 100, 400, 1600};  // ticks; U = 100
+
+  PrintHeader("DB commit batching: window sweep (messages vs latency)");
+  std::printf(
+      "%d transactions per run, 4 partitions, bursts of %d, "
+      "placement check on 4 shards / %d threads\n",
+      num_txs, kBurst, threads);
+
+  bool diverged = false;
+  bool no_amortization = false;
+  for (const WorkloadSpec& workload : kWorkloads) {
+    for (core::ProtocolKind protocol : kProtocols) {
+      std::printf("\n%s / %s\n", core::ProtocolName(protocol), workload.name);
+      PrintRule();
+      double unbatched_ratio = 0;
+      Result widest;
+      for (sim::Time window : kWindows) {
+        Result r = RunOne(protocol, workload, num_txs, window, 1, 1);
+        Result placed = RunOne(protocol, workload, num_txs, window, 4, threads);
+        bool identical = r.stats == placed.stats;
+        if (!identical) diverged = true;
+        PrintResult(window, r, identical);
+        if (window == 0) unbatched_ratio = MsgsPerCommit(r);
+        widest = r;
+      }
+      if (widest.stats.committed == 0 ||
+          MsgsPerCommit(widest) >= unbatched_ratio) {
+        no_amortization = true;
+        std::printf("  AMORTIZATION REGRESSION: widest window >= unbatched\n");
+      }
+    }
+  }
+  if (diverged) std::printf("\nDETERMINISM VIOLATION: stats diverged\n");
+  return diverged || no_amortization ? 2 : 0;
+}

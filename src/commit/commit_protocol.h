@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "consensus/consensus.h"
 #include "net/message.h"
@@ -33,6 +34,30 @@ inline int VoteValue(Vote v) { return v == Vote::kYes ? 1 : 0; }
 
 const char* ToString(Decision d);
 const char* ToString(Vote v);
+
+/// Vote algebra used by batched commit rounds (db/database.h): when several
+/// transactions over the same partition set share one commit instance, a
+/// participant's round-level vote is the *disjunction* of its per-transaction
+/// votes (it can deliver the round's outcome iff it prepared at least one
+/// member), while a member transaction may commit only when the
+/// *conjunction* of its votes across participants is Yes — so a round that
+/// decides commit applies exactly its all-Yes subset and aborts only the
+/// conflicting members, never the whole round.
+inline Vote VoteAnd(Vote a, Vote b) {
+  return (a == Vote::kYes && b == Vote::kYes) ? Vote::kYes : Vote::kNo;
+}
+inline Vote VoteOr(Vote a, Vote b) {
+  return (a == Vote::kYes || b == Vote::kYes) ? Vote::kYes : Vote::kNo;
+}
+
+/// Conjunction over a vote vector (kYes for an empty one): a transaction's
+/// overall fate from its per-participant votes, Definition 1 lifted to
+/// batched rounds.
+inline Vote ConjoinVotes(const std::vector<Vote>& votes) {
+  Vote result = Vote::kYes;
+  for (Vote v : votes) result = VoteAnd(result, v);
+  return result;
+}
 
 /// Base class for every atomic commit protocol in the repository.
 ///

@@ -1,7 +1,7 @@
 #include "db/database.h"
 
 #include <algorithm>
-#include <functional>
+#include <cmath>
 #include <utility>
 
 #include "core/check.h"
@@ -39,13 +39,22 @@ double LatencyStats::Mean() const {
 
 sim::Time LatencyStats::Percentile(double p) const {
   if (sample_.empty()) return 0;
+  p = std::min(100.0, std::max(0.0, p));
   if (sorted_dirty_) {
     sorted_ = sample_;
     std::sort(sorted_.begin(), sorted_.end());
     sorted_dirty_ = false;
   }
-  double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
-  size_t index = static_cast<size_t>(rank);
+  // Nearest-rank: the smallest sample value with at least p% of the sample
+  // at or below it, index ceil(p*n/100) - 1. (The previous truncating
+  // rank biased small-sample tail percentiles low: p99 of 4 values
+  // returned the 3rd value, not the max.) Multiply before dividing: p and
+  // n are exactly representable and so is an integer quotient p*n/100, so
+  // exact rank boundaries stay exact — p/100.0 first would put e.g.
+  // 14/100*50 an epsilon above 7 and ceil would overshoot the rank.
+  double rank = p * static_cast<double>(sorted_.size()) / 100.0;
+  size_t index =
+      rank <= 1.0 ? 0 : static_cast<size_t>(std::ceil(rank)) - 1;
   return sorted_[std::min(index, sorted_.size() - 1)];
 }
 
@@ -88,9 +97,28 @@ Database::Database(const Options& options)
 
 Database::~Database() = default;
 
+namespace {
+
+/// FNV-1a over the key bytes. Routing must not use std::hash: its value is
+/// implementation-defined, so the same seed routed keys differently across
+/// standard libraries and every stat diverged between platforms. FNV-1a is
+/// fully specified (offset basis 14695981039346656037, prime
+/// 1099511628211), which makes the golden routing vector in
+/// tests/db_test.cc hold everywhere.
+uint64_t HashKey(const Key& key) {
+  uint64_t h = 14695981039346656037ULL;
+  for (char c : key) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
 int Database::PartitionOf(const Key& key) const {
-  return static_cast<int>(std::hash<Key>{}(key) %
-                          static_cast<size_t>(options_.num_partitions));
+  return static_cast<int>(HashKey(key) %
+                          static_cast<uint64_t>(options_.num_partitions));
 }
 
 Participant& Database::partition(int index) {
@@ -157,6 +185,12 @@ void Database::Execute(PendingTx pending) {
     return;
   }
 
+  if (options_.batch_window > 0 && options_.batch_max > 1) {
+    EnqueueInBatch(std::move(pending), std::move(touched), std::move(votes),
+                   started);
+    return;
+  }
+
   int shard = ShardOf(pending.tx.id);
   CommitInstance* instance = pool_.Acquire(
       shard, sim_.shard(shard), std::move(votes),
@@ -179,6 +213,107 @@ void Database::Execute(PendingTx pending) {
               stats_.commit_messages += messages;
               pool_.Release(done_instance);
               FinishTx(pending, touched, decision, started, finished);
+            });
+      });
+  instance->Start();
+}
+
+void Database::EnqueueInBatch(PendingTx pending, std::vector<int> touched,
+                              std::vector<commit::Vote> votes,
+                              sim::Time started) {
+  // A member whose own vote conjunction is already No is doomed whatever
+  // the round decides, and the control plane learned that while collecting
+  // votes — so its prepared state (exclusive locks at the partitions that
+  // voted Yes) is dropped now instead of being held for up to a full
+  // window, where it would amplify contention for every later arrival.
+  // The member still rides the round: its votes join the disjunction and
+  // its abort is delivered at the decide instant like every other
+  // member's, matching the unbatched path where a doomed transaction also
+  // learns its fate only when the protocol decides. (Finish is idempotent,
+  // so the second Finish at the decide instant is a no-op.)
+  if (commit::ConjoinVotes(votes) == commit::Vote::kNo) {
+    for (int partition_id : touched) {
+      partitions_[static_cast<size_t>(partition_id)]->Finish(
+          pending.tx.id, commit::Decision::kAbort);
+    }
+  }
+
+  auto it = open_batches_.try_emplace(touched).first;
+  Batch& batch = it->second;
+  if (batch.members.empty()) {
+    batch.id = next_batch_id_++;
+    batch.partitions = touched;
+    // Window flush: a control event at creation + batch_window. The id
+    // fences it — if the batch flushed early (batch_max) the slot may hold
+    // a younger batch by then, and the timer must not touch it.
+    sim_.control()->ScheduleAt(
+        sim_.control()->Now() + options_.batch_window,
+        sim::EventClass::kControl, [this, key = touched, id = batch.id]() {
+          auto it = open_batches_.find(key);
+          if (it == open_batches_.end() || it->second.id != id) return;
+          ++batch_stats_.window_flushes;
+          Batch closed = std::move(it->second);
+          open_batches_.erase(it);
+          FlushBatch(std::move(closed));
+        });
+  }
+  batch.members.push_back(
+      BatchMember{std::move(pending), std::move(votes), started});
+  if (static_cast<int>(batch.members.size()) >= options_.batch_max) {
+    ++batch_stats_.size_flushes;
+    Batch closed = std::move(batch);
+    open_batches_.erase(it);
+    FlushBatch(std::move(closed));
+  }
+}
+
+void Database::FlushBatch(Batch batch) {
+  FC_CHECK(!batch.members.empty()) << "flush of an empty batch";
+  ++batch_stats_.rounds;
+  if (batch.members.size() > 1) {
+    batch_stats_.batched_txs += static_cast<int64_t>(batch.members.size());
+  }
+  // The round's vote at participant j is the disjunction of the members'
+  // votes there: the participant can deliver the round's outcome as long
+  // as it prepared at least one member. (A No at every participant only
+  // happens when every member conflicted there, in which case no member
+  // has an all-Yes conjunction and a round-level abort loses nothing.)
+  size_t width = batch.partitions.size();
+  std::vector<commit::Vote> round_votes(width, commit::Vote::kNo);
+  for (const BatchMember& member : batch.members) {
+    for (size_t j = 0; j < width; ++j) {
+      round_votes[j] = commit::VoteOr(round_votes[j], member.votes[j]);
+    }
+  }
+
+  // The lead (first-enqueued) member's id places the round and keys its
+  // completion effect — ids join exactly one round per attempt, so the
+  // (time, key) pair stays unique.
+  TxId lead = batch.members.front().pending.tx.id;
+  int shard = ShardOf(lead);
+  CommitInstance* instance = pool_.Acquire(
+      shard, sim_.shard(shard), std::move(round_votes),
+      [this, shard, lead, batch = std::move(batch)](
+          CommitInstance* done_instance, commit::Decision decision) mutable {
+        int64_t messages = done_instance->messages();
+        sim::Time finished = done_instance->finish_time();
+        sim_.PostEffect(
+            shard, finished, static_cast<uint64_t>(lead),
+            [this, done_instance, messages, decision,
+             batch = std::move(batch), finished]() mutable {
+              // One protocol round's messages, however many members it
+              // carried — the amortization batching exists for.
+              stats_.commit_messages += messages;
+              pool_.Release(done_instance);
+              for (BatchMember& member : batch.members) {
+                commit::Decision member_decision =
+                    (decision == commit::Decision::kCommit &&
+                     commit::ConjoinVotes(member.votes) == commit::Vote::kYes)
+                        ? commit::Decision::kCommit
+                        : commit::Decision::kAbort;
+                FinishTx(member.pending, batch.partitions, member_decision,
+                         member.started, finished);
+              }
             });
       });
   instance->Start();
@@ -222,6 +357,8 @@ void Database::FinishTx(const PendingTx& pending,
 const DatabaseStats& Database::Drain() {
   sim_.Run();
   FC_CHECK(inflight_ == 0) << "transactions still pending after drain";
+  FC_CHECK(open_batches_.empty())
+      << "open batches after drain: a window flush event was lost";
   stats_.makespan = sim_.Now();
   return stats_;
 }

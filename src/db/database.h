@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -151,6 +152,34 @@ class Database {
     /// Threads draining shards in parallel (1 = single-threaded). Also
     /// stats-invariant.
     int num_threads = 1;
+    /// Group-commit batching window, in ticks. 0 (the default) disables
+    /// batching entirely and takes the one-round-per-transaction path
+    /// unchanged — bit-identical stats to a build without this feature
+    /// (gated in tests/db_batch_test.cc). When > 0, multi-partition
+    /// transactions prepared within the window that touch the *same*
+    /// partition set share one commit round: a single CommitInstance whose
+    /// per-participant vote is the disjunction of the members' votes. When
+    /// the round decides commit, exactly the members whose own vote
+    /// conjunction is all-Yes commit; conflicting members abort (and
+    /// retry) individually — a partial-round abort, never the whole round.
+    /// Larger windows trade per-member latency (early members wait for the
+    /// flush) for fewer protocol messages per commit.
+    sim::Time batch_window = 0;
+    /// A batch that reaches this many members flushes immediately instead
+    /// of waiting out the window. <= 1 also disables batching.
+    int batch_max = 16;
+  };
+
+  /// Counters of the batching path (empty when batch_window == 0).
+  /// Deliberately outside DatabaseStats: the determinism gates compare
+  /// DatabaseStats across shard counts, thread counts, and the
+  /// batching-off-vs-PR 2 path, and these counters describe the batching
+  /// machinery rather than workload-visible outcomes.
+  struct BatchStats {
+    int64_t rounds = 0;          ///< commit rounds run by the batching path
+    int64_t batched_txs = 0;     ///< members that shared a round (size >= 2)
+    int64_t window_flushes = 0;  ///< rounds flushed by the window timer
+    int64_t size_flushes = 0;    ///< rounds flushed by reaching batch_max
   };
 
   explicit Database(const Options& options);
@@ -198,6 +227,9 @@ class Database {
   const CommitInstancePool::Stats& pool_stats() const {
     return pool_.stats();
   }
+  /// Batching-path counters (see BatchStats); all zero when batching is
+  /// disabled.
+  const BatchStats& batch_stats() const { return batch_stats_; }
   sim::Time Now() const { return sim_.Now(); }
 
  private:
@@ -207,7 +239,35 @@ class Database {
     CompletionCallback on_complete;
   };
 
+  /// One prepared transaction waiting in a batch. `votes` is aligned with
+  /// the batch's sorted partition set (which equals the member's own
+  /// touched set — that is the batch key).
+  struct BatchMember {
+    PendingTx pending;
+    std::vector<commit::Vote> votes;
+    sim::Time started = 0;  ///< the member's own Execute instant
+  };
+
+  /// An open commit round accumulating same-partition-set transactions
+  /// until its window timer fires or it reaches batch_max members. `id`
+  /// fences the window timer: a size-triggered flush reuses the map slot
+  /// for a new batch, and the old timer must then expire as a no-op.
+  struct Batch {
+    int64_t id = 0;
+    std::vector<int> partitions;  ///< sorted touched set (the table key)
+    std::vector<BatchMember> members;
+  };
+
   void Execute(PendingTx pending);
+  /// Batching path: parks the prepared transaction in the open batch of its
+  /// partition set (creating one, with a window-flush timer, if absent) and
+  /// flushes immediately at batch_max members.
+  void EnqueueInBatch(PendingTx pending, std::vector<int> touched,
+                      std::vector<commit::Vote> votes, sim::Time started);
+  /// Runs one commit round for a closed batch: disjunction round votes, a
+  /// pooled instance on the lead member's shard, per-member decisions at
+  /// the decide instant.
+  void FlushBatch(Batch batch);
   /// `finished_at` is the commit instance's decide instant (== `started`
   /// for single-partition transactions); all stats and the retry schedule
   /// derive from it, not from any queue's transient clock.
@@ -228,6 +288,11 @@ class Database {
   /// std::map<int, std::vector<Op>> on the hot path.
   std::vector<std::pair<int, int>> route_;
   std::vector<Op> group_ops_;  ///< reused per-partition op batch for Prepare
+  /// Open batches keyed by sorted partition set (control plane only; an
+  /// ordered map so any future iteration is deterministic).
+  std::map<std::vector<int>, Batch> open_batches_;
+  int64_t next_batch_id_ = 1;
+  BatchStats batch_stats_;
 };
 
 }  // namespace fastcommit::db

@@ -15,6 +15,13 @@ namespace fastcommit::db {
 
 /// Free-list pool of CommitInstances, keyed by (shard, cluster size n).
 ///
+/// n is the *round* size — the number of distinct partitions the commit
+/// spans, which is the vote-vector width. A batched round (Database with
+/// batch_window > 0) that carries many transactions over the same
+/// partition set still acquires a single instance of that width, so
+/// batched and one-transaction rounds of equal width recycle through the
+/// same (shard, n) free list.
+///
 /// Acquire returns a recycled instance of the right size *on the right
 /// shard* when one is free (re-armed via CommitInstance::Reset — no
 /// allocation on the hot path) and constructs one against the supplied

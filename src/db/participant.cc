@@ -4,6 +4,7 @@ namespace fastcommit::db {
 
 commit::Vote Participant::Prepare(TxId tx, const std::vector<Op>& local_ops) {
   ++prepares_;
+  bool has_writes = false;
   for (const Op& op : local_ops) {
     bool ok = false;
     switch (op.type) {
@@ -13,6 +14,7 @@ commit::Vote Participant::Prepare(TxId tx, const std::vector<Op>& local_ops) {
       case Op::Type::kPut:
       case Op::Type::kAdd:
         ok = locks_.TryLockExclusive(op.key, tx);
+        has_writes = true;
         break;
     }
     if (!ok) {
@@ -21,7 +23,18 @@ commit::Vote Participant::Prepare(TxId tx, const std::vector<Op>& local_ops) {
       return commit::Vote::kNo;
     }
   }
-  staged_[tx] = local_ops;
+  // Stage only the write ops: reads hold their shared locks until Finish
+  // but apply nothing, so staging them would just grow the table — and
+  // with batched rounds a staged entry can now wait out a whole batching
+  // window, not just one protocol run. Read-only op sets never touch the
+  // table at all.
+  if (has_writes) {
+    std::vector<Op>& staged = staged_[tx];
+    staged.clear();
+    for (const Op& op : local_ops) {
+      if (op.type != Op::Type::kGet) staged.push_back(op);
+    }
+  }
   return commit::Vote::kYes;
 }
 

@@ -21,8 +21,11 @@ class Participant {
   Participant& operator=(const Participant&) = delete;
 
   /// Attempts to execute the transaction's local ops under locks; stages
-  /// the writes and returns the partition's vote. On a "no" vote all local
-  /// locks of the transaction are dropped immediately.
+  /// the write ops (reads only acquire shared locks) and returns the
+  /// partition's vote. On a "no" vote all local locks of the transaction
+  /// are dropped immediately. Staged results are per-transaction, so any
+  /// number of members of one batched commit round can be prepared here
+  /// concurrently and finished individually with different decisions.
   commit::Vote Prepare(TxId tx, const std::vector<Op>& local_ops);
 
   /// Applies (commit) or discards (abort) the staged writes and releases

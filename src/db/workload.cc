@@ -41,6 +41,10 @@ std::vector<Transaction> MakeReadModifyWriteWorkload(int num_txs, int num_keys,
     tx.id = i + 1;
     for (int k = 0; k < keys_per_tx; ++k) {
       int item = static_cast<int>(rng.UniformInt(0, num_keys - 1));
+      // A real read-modify-write: the read takes a shared lock that the
+      // write then upgrades, exercising the shared->exclusive path (and,
+      // across transactions, multi-shared upgrade denial).
+      tx.ops.push_back(Transaction::Get(ItemKey(item)));
       tx.ops.push_back(Transaction::Add(ItemKey(item), 1));
     }
     txs.push_back(std::move(tx));
@@ -61,7 +65,11 @@ std::vector<Transaction> MakeHotspotWorkload(int num_txs, int num_keys,
     tx.id = i + 1;
     for (int k = 0; k < keys_per_tx; ++k) {
       int item;
-      if (rng.Chance(hot_probability)) {
+      // The Chance draw comes first so the stream is unchanged for valid
+      // cold ranges; when hot_keys == num_keys there is no cold range and
+      // every op is hot (UniformInt(hot_keys, num_keys - 1) would be the
+      // empty range [num_keys, num_keys - 1] — a modulo-by-zero).
+      if (rng.Chance(hot_probability) || hot_keys == num_keys) {
         item = static_cast<int>(rng.UniformInt(0, hot_keys - 1));
       } else {
         item = static_cast<int>(rng.UniformInt(hot_keys, num_keys - 1));

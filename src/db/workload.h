@@ -20,13 +20,16 @@ std::vector<Transaction> MakeTransferWorkload(int num_txs, int num_accounts,
                                               int64_t max_amount,
                                               uint64_t seed);
 
-/// Uniform read-modify-write over `num_keys` items, `keys_per_tx` ops each.
+/// Uniform read-modify-write over `num_keys` items: each of the
+/// `keys_per_tx` selected items gets a Get followed by an Add(+1), so every
+/// transaction exercises shared locks and the shared->exclusive upgrade.
 std::vector<Transaction> MakeReadModifyWriteWorkload(int num_txs, int num_keys,
                                                      int keys_per_tx,
                                                      uint64_t seed);
 
 /// Skewed workload: with probability `hot_probability` an op targets one of
 /// the `hot_keys` items (contention generator for the abort/retry path).
+/// `hot_keys == num_keys` is valid and makes every op hot.
 std::vector<Transaction> MakeHotspotWorkload(int num_txs, int num_keys,
                                              int keys_per_tx, int hot_keys,
                                              double hot_probability,

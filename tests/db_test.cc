@@ -281,5 +281,65 @@ TEST(WorkloadTest, HotspotSkewsTowardHotKeys) {
   EXPECT_GT(hot, 140);
 }
 
+// Regression: hot_keys == num_keys is a valid configuration (the FC_CHECK
+// allows it) but the cold branch then drew UniformInt over the empty range
+// [num_keys, num_keys - 1] — a modulo by zero. Every op must be hot and in
+// range, even when the hot probability is 0.
+TEST(WorkloadTest, HotspotAllKeysHotHasNoColdRange) {
+  for (double hot_probability : {0.0, 0.5, 1.0}) {
+    auto txs = MakeHotspotWorkload(100, 10, 2, /*hot_keys=*/10,
+                                   hot_probability, 13);
+    ASSERT_EQ(txs.size(), 100u);
+    for (const auto& tx : txs) {
+      for (const auto& op : tx.ops) {
+        bool in_range = false;
+        for (int item = 0; item < 10; ++item) {
+          if (op.key == ItemKey(item)) in_range = true;
+        }
+        EXPECT_TRUE(in_range) << "key out of range: " << op.key;
+      }
+    }
+  }
+}
+
+TEST(WorkloadTest, ReadModifyWriteEmitsReadsBeforeWrites) {
+  auto txs = MakeReadModifyWriteWorkload(20, 30, 3, 5);
+  ASSERT_EQ(txs.size(), 20u);
+  for (const auto& tx : txs) {
+    ASSERT_EQ(tx.ops.size(), 6u) << "Get + Add per selected item";
+    for (size_t i = 0; i < tx.ops.size(); i += 2) {
+      EXPECT_EQ(tx.ops[i].type, Op::Type::kGet);
+      EXPECT_EQ(tx.ops[i + 1].type, Op::Type::kAdd);
+      EXPECT_EQ(tx.ops[i].key, tx.ops[i + 1].key)
+          << "the read and its modify-write must target the same key";
+    }
+  }
+}
+
+// Golden routing vector: PartitionOf is in-repo FNV-1a over the key bytes,
+// fully specified and therefore identical on every platform and standard
+// library (std::hash, which it replaced, is implementation-defined and
+// routed differently across libstdc++/libc++ — silently breaking
+// cross-platform reproducibility of every stat).
+TEST(DatabaseTest, PartitionRoutingMatchesGoldenVector) {
+  Database five(DbOptions(core::ProtocolKind::kInbac, 5));
+  const int kGoldenAcct5[] = {0, 1, 2, 3, 4, 0, 1, 2};
+  const int kGoldenItem5[] = {0, 1, 2, 3, 1, 2, 3, 4};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(five.PartitionOf(AccountKey(i)), kGoldenAcct5[i])
+        << AccountKey(i);
+    EXPECT_EQ(five.PartitionOf(ItemKey(i)), kGoldenItem5[i]) << ItemKey(i);
+  }
+
+  Database eight(DbOptions(core::ProtocolKind::kInbac, 8));
+  const int kGoldenAcct8[] = {0, 3, 6, 1, 4, 7, 2, 5};
+  const int kGoldenItem8[] = {4, 7, 2, 5, 0, 3, 6, 1};
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(eight.PartitionOf(AccountKey(i)), kGoldenAcct8[i])
+        << AccountKey(i);
+    EXPECT_EQ(eight.PartitionOf(ItemKey(i)), kGoldenItem8[i]) << ItemKey(i);
+  }
+}
+
 }  // namespace
 }  // namespace fastcommit::db

@@ -46,14 +46,66 @@ TEST(LatencyStatsTest, ReservoirFillBoundary) {
       static_cast<double>(LatencyStats::kReservoirCapacity + 2) / 2.0);
 }
 
-TEST(LatencyStatsTest, PercentileUsesLowerRankOfTheSortedSample) {
+TEST(LatencyStatsTest, PercentileIsNearestRank) {
   LatencyStats stats;
   for (sim::Time t : {400, 100, 300, 200}) stats.Record(t);
-  // rank = p/100 * (n-1), truncated: P50 of 4 values is index 1.
+  // Nearest-rank: index ceil(p/100 * n) - 1 over the sorted sample — the
+  // smallest value with at least p% of the sample at or below it.
   EXPECT_EQ(stats.Percentile(0), 100);
+  EXPECT_EQ(stats.Percentile(25), 100);
+  EXPECT_EQ(stats.Percentile(26), 200);
   EXPECT_EQ(stats.Percentile(50), 200);
   EXPECT_EQ(stats.Percentile(75), 300);
+  EXPECT_EQ(stats.Percentile(76), 400);
   EXPECT_EQ(stats.Percentile(100), 400);
+}
+
+// Regression: the old truncating rank (p/100 * (n-1), floored) returned the
+// second-largest value for p99 of a small sample, systematically
+// under-reporting tail latency. Nearest-rank must return the max.
+TEST(LatencyStatsTest, SmallSampleTailPercentileIsNotBiasedLow) {
+  LatencyStats stats;
+  for (sim::Time t : {100, 200, 300, 10000}) stats.Record(t);
+  EXPECT_EQ(stats.Percentile(99), 10000);
+  EXPECT_EQ(stats.Percentile(90), 10000);
+  EXPECT_EQ(stats.Percentile(75), 300);
+
+  LatencyStats single;
+  single.Record(42);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(single.Percentile(p), 42);
+  }
+}
+
+// Regression: the rank must be computed as p*n/100, not (p/100)*n — the
+// latter rounds p/100 up by an epsilon for many integer p, so ceil()
+// overshot exact rank boundaries (e.g. p=14 of 50 samples gave index 7,
+// the 8th value, instead of index 6, the value with exactly 14% at or
+// below it).
+TEST(LatencyStatsTest, PercentileExactAtIntegerRankBoundaries) {
+  LatencyStats fifty;
+  for (sim::Time t = 1; t <= 50; ++t) fifty.Record(t);
+  EXPECT_EQ(fifty.Percentile(14), 7);  // 14% of 50 = rank 7 exactly
+  EXPECT_EQ(fifty.Percentile(2), 1);
+  EXPECT_EQ(fifty.Percentile(98), 49);
+
+  LatencyStats twenty_five;
+  for (sim::Time t = 1; t <= 25; ++t) twenty_five.Record(t);
+  EXPECT_EQ(twenty_five.Percentile(28), 7);  // 28% of 25 = rank 7
+  EXPECT_EQ(twenty_five.Percentile(56), 14);
+
+  LatencyStats hundred;
+  for (sim::Time t = 1; t <= 100; ++t) hundred.Record(t);
+  for (int p = 1; p <= 100; ++p) {
+    EXPECT_EQ(hundred.Percentile(p), p) << "p" << p << " of 1..100";
+  }
+}
+
+TEST(LatencyStatsTest, PercentileClampsOutOfRangeP) {
+  LatencyStats stats;
+  for (sim::Time t : {100, 200, 300}) stats.Record(t);
+  EXPECT_EQ(stats.Percentile(-5), 100) << "p below 0 clamps to the min";
+  EXPECT_EQ(stats.Percentile(150), 300) << "p above 100 clamps to the max";
 }
 
 // Regression for the lazy sorted cache: a Record between Percentile calls

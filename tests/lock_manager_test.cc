@@ -1,0 +1,119 @@
+// Edge cases of the no-wait shared/exclusive LockManager that the generated
+// workloads now reach through read ops (Op::Type::kGet): shared->exclusive
+// upgrades, multi-shared upgrade denial, and the held_ bookkeeping that
+// ReleaseAll relies on (an upgraded or re-acquired lock must be tracked
+// exactly once).
+
+#include <gtest/gtest.h>
+
+#include "db/lock_manager.h"
+#include "db/participant.h"
+#include "db/transaction.h"
+
+namespace fastcommit::db {
+namespace {
+
+TEST(LockManagerUpgradeTest, SoleSharedOwnerUpgradesInPlace) {
+  LockManager locks;
+  ASSERT_TRUE(locks.TryLockShared("k", 1));
+  EXPECT_TRUE(locks.HoldsShared("k", 1));
+  ASSERT_TRUE(locks.TryLockExclusive("k", 1));
+  EXPECT_TRUE(locks.HoldsExclusive("k", 1));
+  EXPECT_FALSE(locks.HoldsShared("k", 1))
+      << "upgrade must move the owner out of the shared set";
+  // Exactly one held_ entry despite two acquisitions: release frees it all.
+  EXPECT_EQ(locks.held_locks(), 1);
+  locks.ReleaseAll(1);
+  EXPECT_EQ(locks.held_locks(), 0);
+  EXPECT_TRUE(locks.TryLockExclusive("k", 2));
+}
+
+TEST(LockManagerUpgradeTest, UpgradeDeniedWhileOthersShare) {
+  LockManager locks;
+  ASSERT_TRUE(locks.TryLockShared("k", 1));
+  ASSERT_TRUE(locks.TryLockShared("k", 2));
+  EXPECT_FALSE(locks.TryLockExclusive("k", 1));
+  EXPECT_FALSE(locks.TryLockExclusive("k", 2));
+  // The failed upgrades left both shared holds intact.
+  EXPECT_TRUE(locks.HoldsShared("k", 1));
+  EXPECT_TRUE(locks.HoldsShared("k", 2));
+  // Once the other reader leaves, the upgrade goes through.
+  locks.ReleaseAll(2);
+  EXPECT_TRUE(locks.TryLockExclusive("k", 1));
+  EXPECT_TRUE(locks.HoldsExclusive("k", 1));
+}
+
+TEST(LockManagerUpgradeTest, SharedReacquireTracksOneHeldEntry) {
+  LockManager locks;
+  ASSERT_TRUE(locks.TryLockShared("k", 1));
+  ASSERT_TRUE(locks.TryLockShared("k", 1));  // idempotent re-acquire
+  EXPECT_EQ(locks.held_locks(), 1);
+  locks.ReleaseAll(1);
+  EXPECT_EQ(locks.held_locks(), 0);
+  EXPECT_FALSE(locks.HoldsShared("k", 1));
+}
+
+TEST(LockManagerUpgradeTest, ExclusiveSubsumesSharedWithoutDuplicateEntry) {
+  LockManager locks;
+  ASSERT_TRUE(locks.TryLockExclusive("k", 1));
+  ASSERT_TRUE(locks.TryLockShared("k", 1));  // owner reads its own write
+  EXPECT_EQ(locks.held_locks(), 1);
+  EXPECT_FALSE(locks.HoldsShared("k", 1))
+      << "the exclusive owner must not also appear as a shared owner";
+  locks.ReleaseAll(1);
+  EXPECT_EQ(locks.held_locks(), 0);
+  EXPECT_TRUE(locks.TryLockShared("k", 2));
+}
+
+TEST(LockManagerUpgradeTest, ReleaseAfterUpgradeFreesReaders) {
+  LockManager locks;
+  ASSERT_TRUE(locks.TryLockShared("k", 1));
+  ASSERT_TRUE(locks.TryLockExclusive("k", 1));
+  locks.ReleaseAll(1);
+  // Both modes are available again.
+  EXPECT_TRUE(locks.TryLockShared("k", 2));
+  EXPECT_TRUE(locks.TryLockShared("k", 3));
+  locks.ReleaseAll(2);
+  locks.ReleaseAll(3);
+  EXPECT_EQ(locks.held_locks(), 0);
+}
+
+// The participant-level view of the same paths, via real Get/Add ops: a
+// read-modify-write transaction upgrades its own read lock, and concurrent
+// readers deny each other's upgrades (no-wait => vote No).
+TEST(ParticipantReadOpTest, ReadModifyWriteUpgradesOwnSharedLock) {
+  Participant p(0);
+  std::vector<Op> rmw = {Transaction::Get("k"), Transaction::Add("k", 1)};
+  EXPECT_EQ(p.Prepare(1, rmw), commit::Vote::kYes);
+  p.Finish(1, commit::Decision::kCommit);
+  EXPECT_EQ(p.store().GetInt("k"), 1);
+  EXPECT_EQ(p.locks().held_locks(), 0);
+}
+
+TEST(ParticipantReadOpTest, ConcurrentReadersDenyUpgrade) {
+  Participant p(0);
+  EXPECT_EQ(p.Prepare(1, {Transaction::Get("k")}), commit::Vote::kYes);
+  EXPECT_EQ(p.Prepare(2, {Transaction::Get("k")}), commit::Vote::kYes)
+      << "shared locks must coexist";
+  // Reader 3 wants to write too: multi-shared denial, and its own shared
+  // lock from the failed prepare must be fully rolled back.
+  EXPECT_EQ(p.Prepare(3, {Transaction::Get("k"), Transaction::Add("k", 1)}),
+            commit::Vote::kNo);
+  EXPECT_FALSE(p.locks().HoldsShared("k", 3));
+  p.Finish(1, commit::Decision::kCommit);
+  p.Finish(2, commit::Decision::kCommit);
+  EXPECT_EQ(p.store().GetInt("k"), 0) << "pure reads must write nothing";
+  EXPECT_EQ(p.locks().held_locks(), 0);
+}
+
+TEST(ParticipantReadOpTest, PureReadStagesNothing) {
+  Participant p(0);
+  p.store().Put("k", "7");
+  EXPECT_EQ(p.Prepare(1, {Transaction::Get("k")}), commit::Vote::kYes);
+  p.Finish(1, commit::Decision::kCommit);
+  EXPECT_EQ(p.store().Get("k"), "7");
+  EXPECT_EQ(p.locks().held_locks(), 0);
+}
+
+}  // namespace
+}  // namespace fastcommit::db

@@ -22,6 +22,12 @@ run_suite() {
 
 run_suite build
 
+# Batching determinism gate at reduced scale: bench_db_batching exits
+# nonzero if DatabaseStats diverge across shard/thread placements for any
+# batching window, or if batching stops reducing per-commit messages.
+# (CI reruns it, plus the other bench gates, at 20k transactions.)
+./build/bench_db_batching --txs 4000
+
 if [[ "${1:-}" == "--asan" ]]; then
   run_suite build-asan -DFASTCOMMIT_SANITIZE=address
 fi
