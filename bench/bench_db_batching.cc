@@ -1,31 +1,43 @@
 // Batched commit rounds: protocol-message amortization vs added latency,
-// swept over batching window size x commit protocol x workload.
+// swept over batching window size x commit protocol x workload, plus the
+// adaptive cross-set mode (per-partition-set EWMA windows + subset round
+// admission, see db/database.h).
 //
 // With batch_window > 0, multi-partition transactions prepared within the
 // window that touch the same partition set share one commit round (one
 // CommitInstance, one protocol execution), and the round commits exactly
-// its all-Yes members — see db/database.h. This bench measures, per
-// (protocol, workload, window):
+// its all-Yes members. The adaptive rows size each set's window from its
+// observed arrival gap and conflict share (clamped to batch_window_max)
+// and admit subset transactions into open superset rounds. This bench
+// measures, per (protocol, workload, mode):
 //   - commit messages per committed transaction (the amortization win);
 //   - mean and p99 commit latency in ticks (the cost: early members wait
 //     for the flush);
-//   - rounds run and how many members shared a round.
+//   - rounds run, members carried, and round occupancy (members/rounds).
 //
-// It doubles as a determinism gate and exits nonzero when either fails:
-//   - for every swept window, DatabaseStats must be bitwise identical when
-//     the same run is placed on 4 shards with 2 worker threads;
-//   - with the largest window, messages per committed transaction must be
-//     strictly lower than with batching disabled, on every protocol and
-//     workload.
+// It doubles as a determinism and regression gate, exiting nonzero when
+// any fails:
+//   - for every mode, DatabaseStats must be bitwise identical when the
+//     same run is placed on 4 shards with 2 worker threads;
+//   - with the largest fixed window, messages per committed transaction
+//     must be strictly lower than with batching disabled, on every
+//     protocol and workload;
+//   - on the skewed hotspot workload, the adaptive cross-set mode must
+//     reach >= 1.2x the round occupancy of the fixed window=400 sweep
+//     point at no worse mean latency — the tentpole claim of the adaptive
+//     controller.
 //
 // Usage:
-//   bench_db_batching [--txs N] [--threads M]
+//   bench_db_batching [--txs N] [--threads M] [--json PATH]
 //
 // Default: N = 100000, M = 2 (threads for the placement-check runs).
+// --json writes the machine-readable row set consumed by
+// tools/bench_compare.py (see BENCH_baseline.json).
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
@@ -38,9 +50,17 @@ namespace {
 constexpr int kBurst = 256;                // txs admitted at one instant
 constexpr sim::Time kMeanArrivalGap = 40;  // ticks per tx, long-run average
 
+// The adaptive mode measured against the fixed sweep: cold-start prior of
+// 1U, windows clamped to 8U, cross-set admission on. The occupancy gate
+// compares it to the fixed window=400 point.
+constexpr sim::Time kAdaptivePrior = 100;
+constexpr sim::Time kAdaptiveWindowMax = 800;
+constexpr sim::Time kFixedReference = 400;
+
 struct WorkloadSpec {
   const char* name;
   std::vector<db::Transaction> (*make)(int num_txs, uint64_t seed);
+  bool skewed;  ///< hotspot-style: the adaptive occupancy gate applies
 };
 
 std::vector<db::Transaction> MakeTransfer(int num_txs, uint64_t seed) {
@@ -54,19 +74,32 @@ std::vector<db::Transaction> MakeHotspot(int num_txs, uint64_t seed) {
                                  /*hot_probability=*/0.2, seed);
 }
 
+struct Mode {
+  std::string label;  ///< row key suffix, e.g. "window=400" or "adaptive"
+  sim::Time window = 0;
+  bool adaptive = false;
+};
+
 struct Result {
   db::DatabaseStats stats;
   db::Database::BatchStats batch;
 };
 
 Result RunOne(core::ProtocolKind protocol, const WorkloadSpec& workload,
-              int num_txs, sim::Time window, int shards, int threads) {
+              int num_txs, const Mode& mode, int shards, int threads) {
   db::Database::Options options;
   options.num_partitions = 4;  // few partition sets => batches actually form
   options.protocol = protocol;
-  options.batch_window = window;
   options.num_shards = shards;
   options.num_threads = threads;
+  if (mode.adaptive) {
+    options.batch_window = kAdaptivePrior;
+    options.batch_adaptive = true;
+    options.batch_window_max = kAdaptiveWindowMax;
+    options.batch_cross_set = true;
+  } else {
+    options.batch_window = mode.window;
+  }
   db::Database database(options);
 
   auto txs = workload.make(num_txs, /*seed=*/42);
@@ -86,22 +119,17 @@ Result RunOne(core::ProtocolKind protocol, const WorkloadSpec& workload,
 }
 
 double MsgsPerCommit(const Result& r) {
-  return r.stats.committed == 0
-             ? 0.0
-             : static_cast<double>(r.stats.commit_messages) /
-                   static_cast<double>(r.stats.committed);
+  return bench::MsgsPerCommit(r.stats.commit_messages, r.stats.committed);
 }
 
-void PrintResult(sim::Time window, const Result& r, bool identical) {
+void PrintResult(const Mode& mode, const Result& r, bool identical) {
   std::printf(
-      "  window %5lld  %8lld committed  %6.2f msgs/commit  "
-      "mean %7.0f  p99 %6lld  rounds %7lld  batched %7lld  stats %s\n",
-      static_cast<long long>(window),
-      static_cast<long long>(r.stats.committed), MsgsPerCommit(r),
-      r.stats.MeanLatency(),
+      "  %-12s %8lld committed  %6.2f msgs/commit  "
+      "mean %7.0f  p99 %6lld  rounds %7lld  occupancy %5.2f  stats %s\n",
+      mode.label.c_str(), static_cast<long long>(r.stats.committed),
+      MsgsPerCommit(r), r.stats.MeanLatency(),
       static_cast<long long>(r.stats.PercentileLatency(99)),
-      static_cast<long long>(r.batch.rounds),
-      static_cast<long long>(r.batch.batched_txs),
+      static_cast<long long>(r.batch.rounds), r.batch.Occupancy(),
       identical ? "identical" : "DIVERGED");
 }
 
@@ -114,13 +142,17 @@ int main(int argc, char** argv) {
 
   int num_txs = 100000;
   int threads = 2;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--txs") == 0 && i + 1 < argc) {
       num_txs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--txs N] [--threads M]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--txs N] [--threads M] [--json PATH]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -131,41 +163,94 @@ int main(int argc, char** argv) {
       core::ProtocolKind::kPaxosCommit,
   };
   const WorkloadSpec kWorkloads[] = {
-      {"transfer", MakeTransfer},
-      {"hotspot", MakeHotspot},
+      {"transfer", MakeTransfer, false},
+      {"hotspot", MakeHotspot, true},
   };
-  const sim::Time kWindows[] = {0, 100, 400, 1600};  // ticks; U = 100
+  std::vector<Mode> modes;
+  for (sim::Time window : {0, 100, 400, 1600}) {  // ticks; U = 100
+    modes.push_back(Mode{"window=" + std::to_string(window), window, false});
+  }
+  modes.push_back(Mode{"adaptive", 0, true});
 
-  PrintHeader("DB commit batching: window sweep (messages vs latency)");
+  PrintHeader(
+      "DB commit batching: fixed-window sweep + adaptive cross-set mode");
   std::printf(
       "%d transactions per run, 4 partitions, bursts of %d, "
-      "placement check on 4 shards / %d threads\n",
-      num_txs, kBurst, threads);
+      "placement check on 4 shards / %d threads\n"
+      "adaptive mode: prior %lld, window max %lld, cross-set admission on\n",
+      num_txs, kBurst, threads, static_cast<long long>(kAdaptivePrior),
+      static_cast<long long>(kAdaptiveWindowMax));
 
+  JsonBenchReport report("db_batching", num_txs);
   bool diverged = false;
   bool no_amortization = false;
+  bool occupancy_regressed = false;
   for (const WorkloadSpec& workload : kWorkloads) {
     for (core::ProtocolKind protocol : kProtocols) {
       std::printf("\n%s / %s\n", core::ProtocolName(protocol), workload.name);
       PrintRule();
       double unbatched_ratio = 0;
-      Result widest;
-      for (sim::Time window : kWindows) {
-        Result r = RunOne(protocol, workload, num_txs, window, 1, 1);
-        Result placed = RunOne(protocol, workload, num_txs, window, 4, threads);
-        bool identical = r.stats == placed.stats;
+      Result widest_fixed;
+      Result fixed_reference;
+      Result adaptive;
+      for (const Mode& mode : modes) {
+        Result r = RunOne(protocol, workload, num_txs, mode, 1, 1);
+        Result placed = RunOne(protocol, workload, num_txs, mode, 4, threads);
+        bool identical =
+            r.stats == placed.stats && r.batch == placed.batch;
         if (!identical) diverged = true;
-        PrintResult(window, r, identical);
-        if (window == 0) unbatched_ratio = MsgsPerCommit(r);
-        widest = r;
+        PrintResult(mode, r, identical);
+        if (!mode.adaptive && mode.window == 0) unbatched_ratio = MsgsPerCommit(r);
+        if (!mode.adaptive && mode.window == kFixedReference) {
+          fixed_reference = r;
+        }
+        if (mode.adaptive) {
+          adaptive = r;
+        } else {
+          widest_fixed = r;
+        }
+        report
+            .AddRow(std::string(core::ProtocolName(protocol)) + "/" +
+                    workload.name + "/" + mode.label)
+            .Set("committed", r.stats.committed)
+            .Set("msgs_per_commit", MsgsPerCommit(r))
+            .Set("mean_latency_ticks", r.stats.MeanLatency())
+            .Set("p99_latency_ticks",
+                 static_cast<int64_t>(r.stats.PercentileLatency(99)))
+            .Set("occupancy", r.batch.Occupancy())
+            .Set("rounds", r.batch.rounds)
+            .Set("cross_set_joins", r.batch.cross_set_joins)
+            .Set("makespan_ticks", static_cast<int64_t>(r.stats.makespan));
       }
-      if (widest.stats.committed == 0 ||
-          MsgsPerCommit(widest) >= unbatched_ratio) {
+      if (widest_fixed.stats.committed == 0 ||
+          MsgsPerCommit(widest_fixed) >= unbatched_ratio) {
         no_amortization = true;
         std::printf("  AMORTIZATION REGRESSION: widest window >= unbatched\n");
+      }
+      if (workload.skewed) {
+        double occupancy_x =
+            adaptive.batch.Occupancy() / fixed_reference.batch.Occupancy();
+        bool latency_ok = adaptive.stats.MeanLatency() <=
+                          fixed_reference.stats.MeanLatency();
+        std::printf(
+            "  adaptive vs fixed window=%lld: occupancy %.2fx, mean latency "
+            "%.0f vs %.0f -> %s\n",
+            static_cast<long long>(kFixedReference), occupancy_x,
+            adaptive.stats.MeanLatency(), fixed_reference.stats.MeanLatency(),
+            occupancy_x >= 1.2 && latency_ok ? "ok" : "OCCUPANCY REGRESSION");
+        if (occupancy_x < 1.2 || !latency_ok) occupancy_regressed = true;
       }
     }
   }
   if (diverged) std::printf("\nDETERMINISM VIOLATION: stats diverged\n");
-  return diverged || no_amortization ? 2 : 0;
+  if (occupancy_regressed) {
+    std::printf(
+        "\nOCCUPANCY REGRESSION: adaptive cross-set mode must reach >= 1.2x "
+        "fixed-window occupancy at no worse mean latency on skewed "
+        "workloads\n");
+  }
+  bool json_failed = false;
+  if (!json_path.empty()) json_failed = !report.WriteTo(json_path);
+  return diverged || no_amortization || occupancy_regressed || json_failed ? 2
+                                                                           : 0;
 }

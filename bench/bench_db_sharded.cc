@@ -14,14 +14,18 @@
 // loop wide conflict-free windows, which is where multi-core drains pay off.
 //
 // Usage:
-//   bench_db_sharded [--txs N] [--threads M]
+//   bench_db_sharded [--txs N] [--threads M] [--json PATH]
 //
 // Default: N = 100000, M = 4 (threads used for the threaded configs).
+// --json writes the machine-readable row set (per-config wall clock and
+// speedup — the multi-core scaling curve CI records as an artifact — plus
+// the deterministic simulated metrics the compare gate checks).
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -100,13 +104,17 @@ int main(int argc, char** argv) {
 
   int num_txs = 100000;
   int threads = 4;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--txs") == 0 && i + 1 < argc) {
       num_txs = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
       threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: %s [--txs N] [--threads M]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--txs N] [--threads M] [--json PATH]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -137,6 +145,7 @@ int main(int argc, char** argv) {
         "barrier overhead); determinism results remain meaningful.\n");
   }
 
+  JsonBenchReport report("db_sharded", num_txs);
   bool diverged = false;
   for (core::ProtocolKind protocol : kProtocols) {
     std::printf("\n%s\n", core::ProtocolName(protocol));
@@ -147,10 +156,27 @@ int main(int argc, char** argv) {
       if (config.shards == 1 && config.threads == 1) base = r;
       if (r.stats != base.stats) diverged = true;
       PrintResult(config, r, base);
+      report
+          .AddRow(std::string(core::ProtocolName(protocol)) + "/shards=" +
+                  std::to_string(config.shards) + "/threads=" +
+                  std::to_string(config.threads))
+          .Set("committed", r.stats.committed)
+          .Set("msgs_per_commit",
+               MsgsPerCommit(r.stats.commit_messages, r.stats.committed))
+          .Set("mean_latency_ticks", r.stats.MeanLatency())
+          .Set("p99_latency_ticks",
+               static_cast<int64_t>(r.stats.PercentileLatency(99)))
+          .Set("peak_live_instances", r.pool.peak_live)
+          .Set("wall_seconds", r.wall_seconds)
+          .Set("txs_per_second", r.txs_per_second)
+          .Set("speedup_vs_single_queue",
+               r.wall_seconds == 0 ? 0.0 : base.wall_seconds / r.wall_seconds);
     }
   }
   // Nonzero on divergence so CI runs of this bench double as the sharded
   // determinism regression gate.
   if (diverged) std::printf("\nDETERMINISM VIOLATION: stats diverged\n");
-  return diverged ? 2 : 0;
+  bool json_failed = false;
+  if (!json_path.empty()) json_failed = !report.WriteTo(json_path);
+  return diverged || json_failed ? 2 : 0;
 }

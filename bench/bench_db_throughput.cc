@@ -9,11 +9,12 @@
 //   - clusters allocated (pool `created`) vs recycled (`reused`).
 //
 // Usage:
-//   bench_db_throughput [--txs N] [--no-pool | --pool-only]
+//   bench_db_throughput [--txs N] [--no-pool | --pool-only] [--json PATH]
 //
 // Default: N = 100000, runs both modes and reports the improvement ratios.
 // --no-pool restricts to the baseline mode (the pre-pooling behavior kept
-// for comparison); --pool-only restricts to the pooled mode.
+// for comparison); --pool-only restricts to the pooled mode. --json writes
+// the machine-readable row set consumed by tools/bench_compare.py.
 
 #include <chrono>
 #include <cstdio>
@@ -99,6 +100,7 @@ int main(int argc, char** argv) {
   int num_txs = 100000;
   bool run_pooled = true;
   bool run_baseline = true;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--txs") == 0 && i + 1 < argc) {
       num_txs = std::atoi(argv[++i]);
@@ -106,10 +108,13 @@ int main(int argc, char** argv) {
       run_pooled = false;
     } else if (std::strcmp(argv[i], "--pool-only") == 0) {
       run_baseline = false;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
-      std::fprintf(stderr,
-                   "usage: %s [--txs N] [--no-pool | --pool-only]\n",
-                   argv[0]);
+      std::fprintf(
+          stderr,
+          "usage: %s [--txs N] [--no-pool | --pool-only] [--json PATH]\n",
+          argv[0]);
       return 1;
     }
   }
@@ -128,6 +133,7 @@ int main(int argc, char** argv) {
   std::printf("%d transactions per run, 8 partitions, unit U = 100 ticks\n",
               num_txs);
 
+  JsonBenchReport report("db_throughput", num_txs);
   bool diverged = false;
 
   for (const WorkloadSpec& workload : kWorkloads) {
@@ -139,6 +145,19 @@ int main(int argc, char** argv) {
       if (run_pooled) {
         pooled = RunOne(protocol, workload, num_txs, /*pooled=*/true);
         PrintResult("pooled", pooled);
+        report
+            .AddRow(std::string(core::ProtocolName(protocol)) + "/" +
+                    workload.name + "/pooled")
+            .Set("committed", pooled.stats.committed)
+            .Set("msgs_per_commit",
+                 MsgsPerCommit(pooled.stats.commit_messages,
+                               pooled.stats.committed))
+            .Set("mean_latency_ticks", pooled.stats.MeanLatency())
+            .Set("p99_latency_ticks",
+                 static_cast<int64_t>(pooled.stats.PercentileLatency(99)))
+            .Set("peak_live_instances", pooled.pool.peak_live)
+            .Set("wall_seconds", pooled.wall_seconds)
+            .Set("txs_per_second", pooled.txs_per_second);
       }
       if (run_baseline) {
         baseline = RunOne(protocol, workload, num_txs, /*pooled=*/false);
@@ -157,7 +176,9 @@ int main(int argc, char** argv) {
       }
     }
   }
+  bool json_failed = false;
+  if (!json_path.empty()) json_failed = !report.WriteTo(json_path);
   // Nonzero on divergence so CI runs of this bench double as the
   // pooled-vs-baseline determinism regression gate.
-  return diverged ? 2 : 0;
+  return diverged || json_failed ? 2 : 0;
 }

@@ -1,8 +1,12 @@
 #ifndef FASTCOMMIT_BENCH_BENCH_UTIL_H_
 #define FASTCOMMIT_BENCH_BENCH_UTIL_H_
 
+#include <cstdint>
 #include <cstdio>
+#include <deque>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/complexity.h"
 #include "core/runner.h"
@@ -34,6 +38,89 @@ inline void PrintRule() {
       "--------------------------------------------------------------------"
       "----------\n");
 }
+
+/// Protocol + consensus messages per committed transaction — the gated
+/// `msgs_per_commit` JSON field; every db bench must compute it the same
+/// way because tools/bench_compare.py matches it by name across their
+/// documents. 0.0 when nothing committed.
+inline double MsgsPerCommit(int64_t commit_messages, int64_t committed) {
+  return committed == 0 ? 0.0
+                        : static_cast<double>(commit_messages) /
+                              static_cast<double>(committed);
+}
+
+/// Machine-readable bench output (the `--json <path>` flag of the db
+/// benches): one JSON document per bench run, one row per measured
+/// configuration, keyed so `tools/bench_compare.py` can diff runs against
+/// the checked-in `BENCH_baseline.json` and CI can accumulate the perf
+/// trajectory as workflow artifacts.
+///
+/// Field conventions the compare gate relies on:
+///   - `*_ticks` and `msgs_per_commit` / `occupancy` are *simulated*
+///     metrics — deterministic for a seed, so the gate compares them
+///     across machines;
+///   - `wall_seconds` / `txs_per_second` are wall-clock — report-only.
+class JsonBenchReport {
+ public:
+  JsonBenchReport(std::string bench, int64_t txs)
+      : bench_(std::move(bench)), txs_(txs) {}
+
+  class Row {
+   public:
+    explicit Row(std::string key) : key_(std::move(key)) {}
+    Row& Set(const char* name, int64_t value) {
+      fields_.emplace_back(name, std::to_string(value));
+      return *this;
+    }
+    Row& Set(const char* name, double value) {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+      fields_.emplace_back(name, buffer);
+      return *this;
+    }
+
+   private:
+    friend class JsonBenchReport;
+    std::string key_;
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  /// The returned reference stays valid across later AddRow calls (rows
+  /// live in a deque), so callers may hold several rows open at once.
+  Row& AddRow(std::string key) {
+    rows_.emplace_back(std::move(key));
+    return rows_.back();
+  }
+
+  /// Writes the document; returns false (with a message on stderr) on I/O
+  /// failure so benches can exit nonzero.
+  bool WriteTo(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write bench json: %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"txs\": %lld,\n  \"rows\": [",
+                 bench_.c_str(), static_cast<long long>(txs_));
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"key\": \"%s\"", i == 0 ? "" : ",",
+                   rows_[i].key_.c_str());
+      for (const auto& [name, value] : rows_[i].fields_) {
+        std::fprintf(f, ", \"%s\": %s", name.c_str(), value.c_str());
+      }
+      std::fprintf(f, "}");
+    }
+    std::fprintf(f, "\n  ]\n}\n");
+    bool ok = std::fclose(f) == 0;
+    if (ok) std::printf("\nwrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string bench_;
+  int64_t txs_;
+  std::deque<Row> rows_;
+};
 
 }  // namespace fastcommit::bench
 

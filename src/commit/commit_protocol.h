@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "consensus/consensus.h"
+#include "core/check.h"
 #include "net/message.h"
 #include "proc/module.h"
 #include "proc/process_env.h"
@@ -57,6 +58,36 @@ inline Vote ConjoinVotes(const std::vector<Vote>& votes) {
   Vote result = Vote::kYes;
   for (Vote v : votes) result = VoteAnd(result, v);
   return result;
+}
+
+/// Cross-set round admission (db/database.h): a transaction whose sorted
+/// partition set `sub` is a subset of an open round's sorted set `super`
+/// may join that round. Its vote vector is re-aligned to the round's
+/// width, voting kYes at every partition it does not touch — a participant
+/// the member never prepared at cannot veto it, and under the disjunction
+/// round vote a padded kYes never forces the round open on its own (a
+/// round only exists because some member prepared at every position of
+/// `super`, namely its opener). The padding preserves the member's fate:
+/// ConjoinVotes over the aligned vector equals ConjoinVotes over `votes`.
+/// Both sets must be sorted ascending; `votes` is aligned with `sub`.
+inline std::vector<Vote> AlignVotesToSuperset(const std::vector<int>& sub,
+                                              const std::vector<Vote>& votes,
+                                              const std::vector<int>& super) {
+  std::vector<Vote> aligned(super.size(), Vote::kYes);
+  size_t i = 0;
+  for (size_t j = 0; j < super.size() && i < sub.size(); ++j) {
+    if (super[j] == sub[i]) {
+      aligned[j] = votes[i];
+      ++i;
+    }
+  }
+  // An unconsumed element means `sub` was unsorted or not contained in
+  // `super` — a real vote (possibly kNo) would be silently replaced by the
+  // kYes padding, letting a conflicted member commit. Fail loudly instead.
+  FC_CHECK(i == sub.size())
+      << "AlignVotesToSuperset: subset/sorted precondition violated ("
+      << i << " of " << sub.size() << " positions matched)";
+  return aligned;
 }
 
 /// Base class for every atomic commit protocol in the repository.

@@ -185,7 +185,7 @@ void Database::Execute(PendingTx pending) {
     return;
   }
 
-  if (options_.batch_window > 0 && options_.batch_max > 1) {
+  if (BatchingEnabled()) {
     EnqueueInBatch(std::move(pending), std::move(touched), std::move(votes),
                    started);
     return;
@@ -218,6 +218,29 @@ void Database::Execute(PendingTx pending) {
   instance->Start();
 }
 
+sim::Time Database::WindowFor(const SetController& controller) const {
+  if (!AdaptiveEnabled()) return options_.batch_window;
+  sim::Time max_window = options_.batch_window_max;
+  if (controller.ewma_gap < 0) {
+    // No arrival history yet: fall back to the fixed window as the prior.
+    return std::min(std::max<sim::Time>(options_.batch_window, 0), max_window);
+  }
+  // A set whose smoothed arrival gap exceeds the widest allowed window is
+  // cold: no second member would arrive before any feasible flush, so it
+  // pays no wait at all (a zero window still groups same-instant arrivals
+  // — the flush timer runs after every Execute already queued at the
+  // opening instant).
+  if (controller.ewma_gap >= max_window) return 0;
+  // Hot set: size the window to gather up to batch_max members at the
+  // observed rate, then shrink it by the smoothed conflict share — a wide
+  // window makes every member hold its prepared locks longer, which is
+  // exactly what amplifies contention when the set is already conflicted.
+  sim::Time window =
+      controller.ewma_gap * static_cast<sim::Time>(options_.batch_max - 1);
+  window = window * (1000 - controller.ewma_conflict_permille) / 1000;
+  return std::min(std::max<sim::Time>(window, 0), max_window);
+}
+
 void Database::EnqueueInBatch(PendingTx pending, std::vector<int> touched,
                               std::vector<commit::Vote> votes,
                               sim::Time started) {
@@ -238,16 +261,53 @@ void Database::EnqueueInBatch(PendingTx pending, std::vector<int> touched,
     }
   }
 
-  auto it = open_batches_.try_emplace(touched).first;
-  Batch& batch = it->second;
-  if (batch.members.empty()) {
+  sim::Time now = sim_.control()->Now();
+  SetController* controller = nullptr;
+  if (AdaptiveEnabled()) {
+    // Observe the arrival for this member's own set (even when it then
+    // joins a superset round): the gap EWMA describes how often this exact
+    // set shows up, which is what sizes its future windows.
+    controller = &controllers_[touched];
+    if (controller->last_arrival >= 0) {
+      sim::Time gap = now - controller->last_arrival;
+      controller->ewma_gap = controller->ewma_gap < 0
+                                 ? gap
+                                 : (3 * controller->ewma_gap + gap) / 4;
+    }
+    controller->last_arrival = now;
+  }
+
+  // Exact-set open batch wins; otherwise, with cross-set admission on, the
+  // first open round in canonical (ordered-map) order whose partition set
+  // strictly contains this member's joins it — the member's votes are
+  // re-aligned to the round's width, kYes at untouched partitions.
+  auto it = open_batches_.find(touched);
+  if (it == open_batches_.end() && options_.batch_cross_set) {
+    for (auto cand = open_batches_.begin(); cand != open_batches_.end();
+         ++cand) {
+      if (cand->first.size() <= touched.size()) continue;
+      if (!std::includes(cand->first.begin(), cand->first.end(),
+                         touched.begin(), touched.end())) {
+        continue;
+      }
+      votes = commit::AlignVotesToSuperset(touched, votes, cand->first);
+      ++batch_stats_.cross_set_joins;
+      it = cand;
+      break;
+    }
+  }
+
+  if (it == open_batches_.end()) {
+    it = open_batches_.try_emplace(touched).first;
+    Batch& batch = it->second;
     batch.id = next_batch_id_++;
     batch.partitions = touched;
-    // Window flush: a control event at creation + batch_window. The id
-    // fences it — if the batch flushed early (batch_max) the slot may hold
-    // a younger batch by then, and the timer must not touch it.
-    sim_.control()->ScheduleAt(
-        sim_.control()->Now() + options_.batch_window,
+    // Window flush: a cancellable control event at creation + window. A
+    // size-triggered flush cancels it; the id fence additionally covers
+    // schedulers without cancellation, where the timer would still fire
+    // against a slot that may hold a younger batch.
+    batch.timer = sim_.control()->ScheduleCancellableAt(
+        now + (controller ? WindowFor(*controller) : options_.batch_window),
         sim::EventClass::kControl, [this, key = touched, id = batch.id]() {
           auto it = open_batches_.find(key);
           if (it == open_batches_.end() || it->second.id != id) return;
@@ -257,10 +317,12 @@ void Database::EnqueueInBatch(PendingTx pending, std::vector<int> touched,
           FlushBatch(std::move(closed));
         });
   }
-  batch.members.push_back(
-      BatchMember{std::move(pending), std::move(votes), started});
+  Batch& batch = it->second;
+  batch.members.push_back(BatchMember{std::move(pending), std::move(touched),
+                                      std::move(votes), started});
   if (static_cast<int>(batch.members.size()) >= options_.batch_max) {
     ++batch_stats_.size_flushes;
+    sim_.control()->Cancel(batch.timer);
     Batch closed = std::move(batch);
     open_batches_.erase(it);
     FlushBatch(std::move(closed));
@@ -270,6 +332,10 @@ void Database::EnqueueInBatch(PendingTx pending, std::vector<int> touched,
 void Database::FlushBatch(Batch batch) {
   FC_CHECK(!batch.members.empty()) << "flush of an empty batch";
   ++batch_stats_.rounds;
+  batch_stats_.members += static_cast<int64_t>(batch.members.size());
+  batch_stats_.max_round_size =
+      std::max(batch_stats_.max_round_size,
+               static_cast<int64_t>(batch.members.size()));
   if (batch.members.size() > 1) {
     batch_stats_.batched_txs += static_cast<int64_t>(batch.members.size());
   }
@@ -305,14 +371,36 @@ void Database::FlushBatch(Batch batch) {
               // carried — the amortization batching exists for.
               stats_.commit_messages += messages;
               pool_.Release(done_instance);
+              int64_t aborted_members = 0;
               for (BatchMember& member : batch.members) {
+                // A cross-set joiner's padded kYes votes leave its own
+                // conjunction unchanged, so this test reads the member's
+                // real fate for every admission path.
                 commit::Decision member_decision =
                     (decision == commit::Decision::kCommit &&
                      commit::ConjoinVotes(member.votes) == commit::Vote::kYes)
                         ? commit::Decision::kCommit
                         : commit::Decision::kAbort;
-                FinishTx(member.pending, batch.partitions, member_decision,
+                if (member_decision != commit::Decision::kCommit) {
+                  ++aborted_members;
+                }
+                FinishTx(member.pending, member.touched, member_decision,
                          member.started, finished);
+              }
+              if (AdaptiveEnabled()) {
+                // Feed the round's aborted-member share back into the
+                // set's controller (this effect runs in canonical order on
+                // the control plane, so the EWMA trajectory is placement
+                // invariant).
+                SetController& controller = controllers_[batch.partitions];
+                int64_t sample =
+                    1000 * aborted_members /
+                    static_cast<int64_t>(batch.members.size());
+                controller.ewma_conflict_permille =
+                    controller.rounds_observed == 0
+                        ? sample
+                        : (3 * controller.ewma_conflict_permille + sample) / 4;
+                ++controller.rounds_observed;
               }
             });
       });

@@ -168,9 +168,32 @@ class Database {
     /// A batch that reaches this many members flushes immediately instead
     /// of waiting out the window. <= 1 also disables batching.
     int batch_max = 16;
+    /// Adaptive group commit: when true (and batch_window_max > 0), each
+    /// partition set's flush window is sized per batch by a control-plane
+    /// controller from that set's observed arrival gaps and round conflict
+    /// rates (EWMAs over recent rounds), clamped to [0, batch_window_max].
+    /// Hot sets earn wide windows (occupancy), cold sets shrink toward 0
+    /// (a zero window still groups same-instant arrivals but adds no wait).
+    /// `batch_window` then only seeds sets with no history yet; with
+    /// batch_adaptive = false it stays the fixed window for every set. The
+    /// controllers live on the control plane keyed by the canonical sorted
+    /// partition set, so adaptive decisions — like everything else — are
+    /// bitwise identical across shard/thread placements.
+    bool batch_adaptive = false;
+    /// Upper clamp for adaptive windows, in ticks. <= 0 disables adaptive
+    /// mode (batch_window rules alone).
+    sim::Time batch_window_max = 0;
+    /// Cross-set round admission: a multi-partition transaction whose
+    /// partition set is a *subset* of an open round's set joins that round
+    /// — voting kYes at the partitions it does not touch (see
+    /// commit::AlignVotesToSuperset) — instead of opening its own batch.
+    /// Raises round occupancy on skewed workloads where narrow hot sets
+    /// arrive alongside wider ones.
+    bool batch_cross_set = false;
   };
 
-  /// Counters of the batching path (empty when batch_window == 0).
+  /// Counters of the batching path (all zero when batching is disabled —
+  /// batch_max <= 1, or batch_window == 0 with adaptive mode off).
   /// Deliberately outside DatabaseStats: the determinism gates compare
   /// DatabaseStats across shard counts, thread counts, and the
   /// batching-off-vs-PR 2 path, and these counters describe the batching
@@ -180,6 +203,32 @@ class Database {
     int64_t batched_txs = 0;     ///< members that shared a round (size >= 2)
     int64_t window_flushes = 0;  ///< rounds flushed by the window timer
     int64_t size_flushes = 0;    ///< rounds flushed by reaching batch_max
+    /// Members over every round (occupancy = members / rounds; counts
+    /// size-1 rounds too, unlike batched_txs).
+    int64_t members = 0;
+    int64_t max_round_size = 0;  ///< largest round flushed so far
+    /// Members admitted into an open round of a strict superset partition
+    /// set (Options::batch_cross_set).
+    int64_t cross_set_joins = 0;
+
+    /// Mean members per round; 1.0 with batching off (every commit is its
+    /// own round).
+    double Occupancy() const {
+      return rounds == 0 ? 1.0
+                         : static_cast<double>(members) /
+                               static_cast<double>(rounds);
+    }
+
+    bool operator==(const BatchStats& other) const {
+      return rounds == other.rounds && batched_txs == other.batched_txs &&
+             window_flushes == other.window_flushes &&
+             size_flushes == other.size_flushes && members == other.members &&
+             max_round_size == other.max_round_size &&
+             cross_set_joins == other.cross_set_joins;
+    }
+    bool operator!=(const BatchStats& other) const {
+      return !(*this == other);
+    }
   };
 
   explicit Database(const Options& options);
@@ -240,28 +289,63 @@ class Database {
   };
 
   /// One prepared transaction waiting in a batch. `votes` is aligned with
-  /// the batch's sorted partition set (which equals the member's own
-  /// touched set — that is the batch key).
+  /// the *round's* sorted partition set: for a same-set member that equals
+  /// its own touched set; a cross-set joiner's votes are padded with kYes
+  /// at the partitions it does not touch (commit::AlignVotesToSuperset).
+  /// `touched` stays the member's own sorted set — the only partitions its
+  /// Finish may reach.
   struct BatchMember {
     PendingTx pending;
+    std::vector<int> touched;
     std::vector<commit::Vote> votes;
     sim::Time started = 0;  ///< the member's own Execute instant
   };
 
-  /// An open commit round accumulating same-partition-set transactions
-  /// until its window timer fires or it reaches batch_max members. `id`
-  /// fences the window timer: a size-triggered flush reuses the map slot
-  /// for a new batch, and the old timer must then expire as a no-op.
+  /// An open commit round accumulating transactions over its partition set
+  /// (or, with batch_cross_set, subsets of it) until its window timer
+  /// fires or it reaches batch_max members. A size-triggered flush cancels
+  /// the timer outright (it neither runs nor stretches makespan); `id`
+  /// additionally fences it for schedulers without cancellation support —
+  /// the map slot may hold a younger batch by the time a stale timer
+  /// fires, and it must then no-op.
   struct Batch {
     int64_t id = 0;
     std::vector<int> partitions;  ///< sorted touched set (the table key)
     std::vector<BatchMember> members;
+    sim::EventId timer = sim::kNoEvent;  ///< cancellable window flush
+  };
+
+  /// Adaptive window controller of one partition set (Options::
+  /// batch_adaptive). Control plane only: arrival gaps are observed from
+  /// Execute events and conflict shares from completion effects, both of
+  /// which run in canonical order — so the windows it picks are identical
+  /// for every shard/thread placement. EWMAs use integer arithmetic with
+  /// alpha = 1/4.
+  struct SetController {
+    sim::Time last_arrival = -1;  ///< previous arrival instant; -1 = none
+    sim::Time ewma_gap = -1;      ///< smoothed arrival gap; -1 = no history
+    int64_t ewma_conflict_permille = 0;  ///< smoothed aborted-member share
+    int64_t rounds_observed = 0;
   };
 
   void Execute(PendingTx pending);
+  /// True when multi-partition transactions take the batching path at all.
+  bool BatchingEnabled() const {
+    return options_.batch_max > 1 &&
+           (options_.batch_window > 0 || AdaptiveEnabled());
+  }
+  bool AdaptiveEnabled() const {
+    return options_.batch_adaptive && options_.batch_window_max > 0;
+  }
+  /// Flush window for a new batch over `controller`'s set: the EWMA-sized
+  /// adaptive window (see Options::batch_adaptive), or the fixed
+  /// batch_window when adaptive mode is off.
+  sim::Time WindowFor(const SetController& controller) const;
   /// Batching path: parks the prepared transaction in the open batch of its
-  /// partition set (creating one, with a window-flush timer, if absent) and
-  /// flushes immediately at batch_max members.
+  /// partition set — or, with batch_cross_set, of the first open strict
+  /// superset in canonical order — creating one, with a cancellable
+  /// window-flush timer, if absent; flushes immediately at batch_max
+  /// members.
   void EnqueueInBatch(PendingTx pending, std::vector<int> touched,
                       std::vector<commit::Vote> votes, sim::Time started);
   /// Runs one commit round for a closed batch: disjunction round votes, a
@@ -289,8 +373,11 @@ class Database {
   std::vector<std::pair<int, int>> route_;
   std::vector<Op> group_ops_;  ///< reused per-partition op batch for Prepare
   /// Open batches keyed by sorted partition set (control plane only; an
-  /// ordered map so any future iteration is deterministic).
+  /// ordered map so the cross-set admission scan is deterministic).
   std::map<std::vector<int>, Batch> open_batches_;
+  /// Adaptive controllers keyed the same way (bounded by the number of
+  /// distinct partition sets ever batched).
+  std::map<std::vector<int>, SetController> controllers_;
   int64_t next_batch_id_ = 1;
   BatchStats batch_stats_;
 };

@@ -17,12 +17,35 @@ void EventQueue::Push(Time at, EventClass cls, std::function<void()> fn) {
   heap_.push(std::move(e));
 }
 
+EventId EventQueue::PushCancellable(Time at, EventClass cls,
+                                    std::function<void()> fn) {
+  EventId id = next_seq_;  // Push assigns this seq
+  Push(at, cls, std::move(fn));
+  cancellable_.insert(id);
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  if (cancellable_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::Prune() const {
+  while (!heap_.empty() && !cancelled_.empty() &&
+         cancelled_.erase(heap_.top().seq) > 0) {
+    heap_.pop();
+  }
+}
+
 Event EventQueue::Pop() {
+  Prune();
   // std::priority_queue::top() returns a const reference; the function
   // object must be moved out via a copy of the top element.
   Event e = heap_.top();
   heap_.pop();
   last_popped_at_ = e.at;
+  cancellable_.erase(e.seq);  // executed: its handle is dead
   return e;
 }
 

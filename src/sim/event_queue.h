@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/sim_time.h"
@@ -25,6 +26,11 @@ enum class EventClass : uint8_t {
   kControl = 3,   ///< other harness-level actions (probes)
 };
 
+/// Handle to a cancellable event; kNoEvent means "not cancellable" (the
+/// default Push) or "no event".
+using EventId = uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
 /// One scheduled callback.
 struct Event {
   Time at = 0;
@@ -37,6 +43,15 @@ struct Event {
 /// sequence). Determinism of the third key makes every execution of a given
 /// configuration bitwise reproducible, which the lower-bound style tests rely
 /// on when constructing indistinguishable executions.
+///
+/// Cancellation: PushCancellable returns an EventId; Cancel removes the
+/// event logically. Removal is lazy (the heap entry stays until it reaches
+/// the top), but a cancelled event is invisible to empty()/PeekTime()/Pop()
+/// — in particular it never advances any clock, so a queue whose only
+/// remaining entries are cancelled timers reads as drained at the last
+/// *live* event's time, not the cancelled timers' (the db layer relies on
+/// this to keep makespan at the final decide when size-flushed batches
+/// cancel their window timers). Plain Push events pay no tracking cost.
 class EventQueue {
  public:
   EventQueue() = default;
@@ -49,14 +64,31 @@ class EventQueue {
   /// reorder history).
   void Push(Time at, EventClass cls, std::function<void()> fn);
 
-  /// Removes and returns the earliest event. Undefined if empty.
+  /// Like Push, but returns a handle accepted by Cancel. Only cancellable
+  /// events are tracked, so the hot delivery/timer path stays untracked.
+  EventId PushCancellable(Time at, EventClass cls, std::function<void()> fn);
+
+  /// Logically removes a pending cancellable event. Returns true when `id`
+  /// named a still-pending event (now removed); false for kNoEvent, an
+  /// already-executed event, or a repeated cancel.
+  bool Cancel(EventId id);
+
+  /// Removes and returns the earliest live event. Undefined if empty.
   Event Pop();
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  /// True when no *live* events remain (cancelled entries do not count).
+  bool empty() const {
+    Prune();
+    return heap_.empty();
+  }
+  /// Live events pending (excludes cancelled entries).
+  size_t size() const { return heap_.size() - cancelled_.size(); }
 
-  /// Time of the earliest pending event. Undefined if empty.
-  Time PeekTime() const { return heap_.top().at; }
+  /// Time of the earliest live pending event. Undefined if empty.
+  Time PeekTime() const {
+    Prune();
+    return heap_.top().at;
+  }
 
  private:
   struct Later {
@@ -67,9 +99,20 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
-  uint64_t next_seq_ = 0;
+  /// Discards cancelled entries sitting at the top of the heap so the
+  /// public accessors only ever see live events. Does not touch
+  /// last_popped_at_: pruning is not execution.
+  void Prune() const;
+
+  /// seq doubles as the cancellation handle, so it starts at 1 and 0 stays
+  /// free for kNoEvent.
+  mutable std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 1;
   Time last_popped_at_ = 0;
+  /// Cancellable events still in the heap, and those of them cancelled but
+  /// not yet pruned. Both empty when the feature is unused.
+  std::unordered_set<EventId> cancellable_;
+  mutable std::unordered_set<EventId> cancelled_;
 };
 
 }  // namespace fastcommit::sim

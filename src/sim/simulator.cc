@@ -12,6 +12,13 @@ void Simulator::ScheduleAt(Time at, EventClass cls, std::function<void()> fn) {
   queue_.Push(at, cls, std::move(fn));
 }
 
+EventId Simulator::ScheduleCancellableAt(Time at, EventClass cls,
+                                         std::function<void()> fn) {
+  FC_CHECK(at >= now_) << "Simulator::ScheduleCancellableAt into the past: "
+                       << at << " < " << now_;
+  return queue_.PushCancellable(at, cls, std::move(fn));
+}
+
 int64_t Simulator::Run(Time deadline) {
   int64_t executed = 0;
   while (Step(deadline)) ++executed;

@@ -31,6 +31,15 @@ class Simulator : public Scheduler {
   /// Schedules `fn` at absolute time `at` (>= Now()).
   void ScheduleAt(Time at, EventClass cls, std::function<void()> fn) override;
 
+  /// Cancellable scheduling backed by the queue's lazy removal: a cancelled
+  /// event neither runs nor advances the clock (NextEventTime/idle/Run all
+  /// see only live events). The db layer uses this for group-commit flush
+  /// timers so a size-flushed batch stops stretching makespan by up to one
+  /// window.
+  EventId ScheduleCancellableAt(Time at, EventClass cls,
+                                std::function<void()> fn) override;
+  bool Cancel(EventId id) override { return queue_.Cancel(id); }
+
   /// Executes events in order until the queue is empty or the next event is
   /// later than `deadline`. Returns the number of events executed.
   int64_t Run(Time deadline = kMaxTime);

@@ -63,6 +63,80 @@ TEST(EventQueueTest, InsertionOrderBreaksTies) {
   for (int i = 0; i < 16; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
 }
 
+TEST(EventQueueTest, CancelledEventNeitherRunsNorCounts) {
+  EventQueue q;
+  int fired = 0;
+  EventId id = q.PushCancellable(10, EventClass::kControl, [&] { ++fired; });
+  EXPECT_NE(id, kNoEvent);
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventQueueTest, CancelIsOneShotAndRejectsUnknownIds) {
+  EventQueue q;
+  EventId id = q.PushCancellable(10, EventClass::kControl, [] {});
+  EXPECT_FALSE(q.Cancel(kNoEvent));
+  EXPECT_FALSE(q.Cancel(id + 1000));  // never issued
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id)) << "a repeated cancel must report failure";
+}
+
+TEST(EventQueueTest, CancelAfterExecutionReportsFailure) {
+  EventQueue q;
+  EventId id = q.PushCancellable(10, EventClass::kControl, [] {});
+  q.Pop().fn();
+  EXPECT_FALSE(q.Cancel(id)) << "the event already ran; its handle is dead";
+}
+
+TEST(EventQueueTest, BuriedCancelledEventIsSkippedNotExecuted) {
+  EventQueue q;
+  std::vector<int> order;
+  EventId dead = q.PushCancellable(5, EventClass::kControl,
+                                   [&] { order.push_back(-1); });
+  q.Push(10, EventClass::kControl, [&] { order.push_back(1); });
+  q.Cancel(dead);
+  EXPECT_EQ(q.PeekTime(), 10) << "the cancelled head must be invisible";
+  while (!q.empty()) q.Pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+}
+
+TEST(SimulatorTest, CancelledEventDoesNotAdvanceClock) {
+  // The point of cancellation over id-fencing: a fenced no-op timer still
+  // drains last and drags the clock (and so makespan) to its expiry; a
+  // cancelled one leaves the clock at the last *live* event.
+  Simulator s;
+  s.ScheduleAt(10, EventClass::kControl, [] {});
+  EventId timer = s.ScheduleCancellableAt(100000, EventClass::kTimer, [] {});
+  EXPECT_TRUE(s.Cancel(timer));
+  s.Run();
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.Now(), 10);
+}
+
+TEST(SimulatorTest, CancelledEventInvisibleToNextEventTime) {
+  Simulator s;
+  EventId timer = s.ScheduleCancellableAt(50, EventClass::kTimer, [] {});
+  s.ScheduleAt(70, EventClass::kControl, [] {});
+  EXPECT_EQ(s.NextEventTime(), 50);
+  EXPECT_TRUE(s.Cancel(timer));
+  EXPECT_EQ(s.NextEventTime(), 70)
+      << "the sharded merge loop must not pick horizons from dead timers";
+  s.Run();
+  EXPECT_EQ(s.Now(), 70);
+}
+
+TEST(SimulatorTest, UncancelledCancellableEventRunsNormally) {
+  Simulator s;
+  Time seen = -1;
+  s.ScheduleCancellableAt(25, EventClass::kControl, [&] { seen = s.Now(); });
+  s.Run();
+  EXPECT_EQ(seen, 25);
+  EXPECT_EQ(s.Now(), 25);
+}
+
 TEST(SimulatorTest, AdvancesClockToEventTime) {
   Simulator s;
   Time seen = -1;

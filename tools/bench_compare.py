@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Gate bench JSON output against the checked-in baseline.
+
+The db benches (`bench_db_throughput`, `bench_db_sharded`,
+`bench_db_batching`) emit machine-readable results via `--json <path>`.
+This script compares one or more of those documents against
+`BENCH_baseline.json` and fails (exit 1) when a *simulated* metric
+regresses by more than the tolerance — simulated metrics are
+deterministic for a given seed and transaction count, so they compare
+exactly across machines. Wall-clock metrics vary with hardware and are
+report-only.
+
+Gated (lower is better): msgs_per_commit, mean_latency_ticks,
+p99_latency_ticks. Gated (higher is better): occupancy. A row key
+present in the baseline but missing from the current run also fails —
+silently dropping a measured configuration is a coverage regression.
+
+Usage:
+  tools/bench_compare.py --baseline BENCH_baseline.json current1.json ...
+  tools/bench_compare.py --merge BENCH_baseline.json current1.json ...
+
+--merge rewrites the baseline from the given current files (the refresh
+procedure after an intentional perf change; see README). The baseline
+must be regenerated at the same --txs the CI gate runs with.
+"""
+
+import argparse
+import json
+import sys
+
+TOLERANCE = 0.05  # >5% regression fails
+LOWER_IS_BETTER = ("msgs_per_commit", "mean_latency_ticks",
+                   "p99_latency_ticks", "makespan_ticks")
+HIGHER_IS_BETTER = ("occupancy",)
+REPORT_ONLY = ("wall_seconds", "txs_per_second", "speedup_vs_single_queue")
+
+
+def load_rows(doc):
+    """{row key -> row dict} for one bench document."""
+    return {row["key"]: row for row in doc["rows"]}
+
+
+def compare(baseline_doc, current_doc):
+    """Returns (failures, reports) for one bench's row sets."""
+    failures, reports = [], []
+    bench = current_doc["bench"]
+    if baseline_doc.get("txs") != current_doc.get("txs"):
+        failures.append(
+            f"{bench}: baseline txs={baseline_doc.get('txs')} != current "
+            f"txs={current_doc.get('txs')} — regenerate the baseline with "
+            "--merge at the gated transaction count")
+        return failures, reports
+    base_rows = load_rows(baseline_doc)
+    cur_rows = load_rows(current_doc)
+    for key, base in sorted(base_rows.items()):
+        cur = cur_rows.get(key)
+        if cur is None:
+            failures.append(f"{bench}/{key}: row disappeared from the bench")
+            continue
+        for metric in LOWER_IS_BETTER + HIGHER_IS_BETTER:
+            if metric not in base:
+                continue
+            if metric not in cur:
+                # A gated metric the bench stopped emitting is a coverage
+                # regression, same as a dropped row (NaN would otherwise
+                # make both comparisons False and slip through the gate).
+                failures.append(
+                    f"{bench}/{key}: gated metric {metric} disappeared "
+                    "from the bench output")
+                continue
+            b, c = float(base[metric]), float(cur[metric])
+            if metric in LOWER_IS_BETTER:
+                regressed = c > b * (1 + TOLERANCE) + 1e-9
+            else:
+                regressed = c < b * (1 - TOLERANCE) - 1e-9
+            if regressed:
+                failures.append(
+                    f"{bench}/{key}: {metric} {b:g} -> {c:g} "
+                    f"({(c - b) / b * 100 if b else float('inf'):+.1f}%)")
+        for metric in REPORT_ONLY:
+            if metric in base and metric in cur:
+                b, c = float(base[metric]), float(cur[metric])
+                if b > 0:
+                    reports.append(
+                        f"{bench}/{key}: {metric} {b:g} -> {c:g} "
+                        f"({(c - b) / b * 100:+.1f}%, report-only)")
+    for key in sorted(set(cur_rows) - set(base_rows)):
+        reports.append(f"{bench}/{key}: new row (not in baseline)")
+    return failures, reports
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="baseline JSON to gate against")
+    parser.add_argument("--merge", metavar="OUT",
+                        help="write a fresh baseline from the current files")
+    parser.add_argument("current", nargs="+",
+                        help="bench --json output files")
+    args = parser.parse_args()
+    if bool(args.baseline) == bool(args.merge):
+        parser.error("exactly one of --baseline / --merge is required")
+
+    current_docs = []
+    for path in args.current:
+        with open(path) as f:
+            current_docs.append(json.load(f))
+
+    if args.merge:
+        # Update/insert per-bench entries, keeping baseline benches that
+        # were not regenerated this time — a partial refresh must not
+        # silently drop the gate for the other benches.
+        by_name = {}
+        try:
+            with open(args.merge) as f:
+                by_name = {d["bench"]: d for d in json.load(f)["benches"]}
+        except FileNotFoundError:
+            pass
+        by_name.update({d["bench"]: d for d in current_docs})
+        merged = {"benches": [by_name[k] for k in sorted(by_name)]}
+        with open(args.merge, "w") as f:
+            json.dump(merged, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {args.merge}: {len(current_docs)} bench file(s) "
+              f"merged, {len(merged['benches'])} total")
+        return 0
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    baseline_by_name = {d["bench"]: d for d in baseline["benches"]}
+
+    all_failures, all_reports = [], []
+    for doc in current_docs:
+        base = baseline_by_name.get(doc["bench"])
+        if base is None:
+            all_reports.append(f"{doc['bench']}: no baseline yet (skipped)")
+            continue
+        failures, reports = compare(base, doc)
+        all_failures += failures
+        all_reports += reports
+    # Same coverage rule at file granularity: a baseline bench with no
+    # current file means a whole measured configuration silently vanished
+    # from the gate (e.g. a CI edit dropped one of the --json arguments).
+    missing = set(baseline_by_name) - {d["bench"] for d in current_docs}
+    for bench in sorted(missing):
+        all_failures.append(
+            f"{bench}: baseline bench has no current file to compare")
+
+    for line in all_reports:
+        print(line)
+    if all_failures:
+        print(f"\nBENCH REGRESSION ({len(all_failures)} failure(s), "
+              f"tolerance {TOLERANCE:.0%}):", file=sys.stderr)
+        for line in all_failures:
+            print(f"  {line}", file=sys.stderr)
+        print("\nIf the change is intentional, refresh the baseline:\n"
+              "  tools/bench_compare.py --merge BENCH_baseline.json "
+              "<current files>", file=sys.stderr)
+        return 1
+    print(f"\nbench_compare: {len(current_docs)} bench file(s) within "
+          f"{TOLERANCE:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
