@@ -17,8 +17,10 @@
 //
 // It doubles as a determinism and regression gate, exiting nonzero when
 // any fails:
-//   - for every mode, DatabaseStats must be bitwise identical when the
-//     same run is placed on 4 shards with 2 worker threads;
+//   - for every mode, DatabaseStats and BatchStats must be bitwise
+//     identical between the serial reference (one queue, prepare inline)
+//     and the same run placed on 4 shards with 2 worker threads and
+//     prepare on-shard (db/partition_plane.h);
 //   - with the largest fixed window, messages per committed transaction
 //     must be strictly lower than with batching disabled, on every
 //     protocol and workload;
@@ -86,12 +88,14 @@ struct Result {
 };
 
 Result RunOne(core::ProtocolKind protocol, const WorkloadSpec& workload,
-              int num_txs, const Mode& mode, int shards, int threads) {
+              int num_txs, const Mode& mode, int shards, int threads,
+              bool partition_parallel) {
   db::Database::Options options;
   options.num_partitions = 4;  // few partition sets => batches actually form
   options.protocol = protocol;
   options.num_shards = shards;
   options.num_threads = threads;
+  options.partition_parallel = partition_parallel;
   if (mode.adaptive) {
     options.batch_window = kAdaptivePrior;
     options.batch_adaptive = true;
@@ -194,8 +198,13 @@ int main(int argc, char** argv) {
       Result fixed_reference;
       Result adaptive;
       for (const Mode& mode : modes) {
-        Result r = RunOne(protocol, workload, num_txs, mode, 1, 1);
-        Result placed = RunOne(protocol, workload, num_txs, mode, 4, threads);
+        // Serial reference (one queue, prepare inline) vs the fully
+        // displaced run (4 shards, worker threads, prepare on-shard): one
+        // comparison gates the merge rule and the partition plane at once.
+        Result r = RunOne(protocol, workload, num_txs, mode, 1, 1,
+                          /*partition_parallel=*/false);
+        Result placed = RunOne(protocol, workload, num_txs, mode, 4, threads,
+                               /*partition_parallel=*/true);
         bool identical =
             r.stats == placed.stats && r.batch == placed.batch;
         if (!identical) diverged = true;
@@ -220,6 +229,9 @@ int main(int argc, char** argv) {
             .Set("occupancy", r.batch.Occupancy())
             .Set("rounds", r.batch.rounds)
             .Set("cross_set_joins", r.batch.cross_set_joins)
+            // Every row is gated identical between prepare on-shard and
+            // inline, so 1 records the production execution mode.
+            .Set("prepare_on_shard", static_cast<int64_t>(1))
             .Set("makespan_ticks", static_cast<int64_t>(r.stats.makespan));
       }
       if (widest_fixed.stats.committed == 0 ||

@@ -1,11 +1,15 @@
 // Sharded-simulator scaling: the same 100k-transaction workload drained on
-// one event queue vs N per-shard queues with M worker threads.
+// one event queue vs N per-shard queues with M worker threads, with
+// partition data-path work (Prepare/apply/release) executing on-shard via
+// the partition plane (db/partition_plane.h) or inline on the control
+// plane.
 //
-// Measures, per (protocol, {shards, threads}):
-//   - committed transactions per wall-clock second and the speedup over the
-//     single-queue baseline (shards=1, threads=1);
+// Measures, per (protocol, {shards, threads, prepare placement}):
+//   - committed transactions per wall-clock second and the speedup over
+//     the serial baseline (shards=1, threads=1, prepare inline);
 //   - bitwise equality of DatabaseStats against the baseline — the sharded
-//     merge rule's determinism gate at bench scale;
+//     merge rule's and the partition plane's determinism gate at bench
+//     scale;
 //   - pool counters (peak live stays O(concurrency), never O(transactions)).
 //
 // Transactions arrive in bursts (kBurst at one instant, then a gap with the
@@ -45,6 +49,9 @@ struct Config {
   const char* name;
   int shards;
   int threads;
+  /// Prepare on-shard (db/partition_plane.h) vs inline on the control
+  /// plane; a placement knob, so stats must not move with it.
+  bool partition_parallel = true;
 };
 
 struct Result {
@@ -60,6 +67,7 @@ Result RunOne(core::ProtocolKind protocol, int num_txs, const Config& config) {
   options.protocol = protocol;
   options.num_shards = config.shards;
   options.num_threads = config.threads;
+  options.partition_parallel = config.partition_parallel;
   db::Database database(options);
 
   auto txs = db::MakeTransferWorkload(num_txs, /*num_accounts=*/2000,
@@ -126,10 +134,14 @@ int main(int argc, char** argv) {
   };
 
   const Config kConfigs[] = {
-      {"1 shard  / 1 thread", 1, 1},  // single-queue baseline
-      {"4 shards / 1 thread", 4, 1},
-      {"4 shards / N threads", 4, threads},
-      {"8 shards / N threads", 8, threads},
+      // Single-queue, prepare inline: the fully serial reference the
+      // divergence gate measures every placement against.
+      {"1 shard  / 1t inline", 1, 1, false},
+      {"1 shard  / 1 thread", 1, 1, true},
+      {"4 shards / 1 thread", 4, 1, true},
+      {"4 shards / N threads", 4, threads, true},
+      {"8 shards / N threads", 8, threads, true},
+      {"8 shards / Nt inline", 8, threads, false},
   };
 
   PrintHeader("DB commit throughput: sharded event queues + worker threads");
@@ -153,14 +165,23 @@ int main(int argc, char** argv) {
     Result base;
     for (const Config& config : kConfigs) {
       Result r = RunOne(protocol, num_txs, config);
-      if (config.shards == 1 && config.threads == 1) base = r;
+      // The serial reference is the first config (1 shard, 1 thread,
+      // prepare inline); every other placement — including the threaded
+      // prepare-on-shard drains — must match it bitwise.
+      if (config.shards == 1 && config.threads == 1 &&
+          !config.partition_parallel) {
+        base = r;
+      }
       if (r.stats != base.stats) diverged = true;
       PrintResult(config, r, base);
       report
           .AddRow(std::string(core::ProtocolName(protocol)) + "/shards=" +
                   std::to_string(config.shards) + "/threads=" +
-                  std::to_string(config.threads))
+                  std::to_string(config.threads) +
+                  (config.partition_parallel ? "" : "/inline"))
           .Set("committed", r.stats.committed)
+          .Set("prepare_on_shard",
+               static_cast<int64_t>(config.partition_parallel ? 1 : 0))
           .Set("msgs_per_commit",
                MsgsPerCommit(r.stats.commit_messages, r.stats.committed))
           .Set("mean_latency_ticks", r.stats.MeanLatency())

@@ -15,6 +15,12 @@
 // --no-pool restricts to the baseline mode (the pre-pooling behavior kept
 // for comparison); --pool-only restricts to the pooled mode. --json writes
 // the machine-readable row set consumed by tools/bench_compare.py.
+//
+// The pooled mode additionally runs once with partition-parallel execution
+// off (`inline` line): stats must be bitwise identical — prepare on-shard
+// (db/partition_plane.h) is a placement knob, not a semantic one — and the
+// bench exits nonzero when they are not. JSON rows carry the mode in the
+// `prepare_on_shard` column.
 
 #include <chrono>
 #include <cstdio>
@@ -56,11 +62,12 @@ struct Result {
 };
 
 Result RunOne(core::ProtocolKind protocol, const WorkloadSpec& workload,
-              int num_txs, bool pooled) {
+              int num_txs, bool pooled, bool partition_parallel = true) {
   db::Database::Options options;
   options.num_partitions = 8;
   options.protocol = protocol;
   options.pool_instances = pooled;
+  options.partition_parallel = partition_parallel;
   db::Database database(options);
 
   auto txs = workload.make(num_txs, /*seed=*/42);
@@ -145,6 +152,17 @@ int main(int argc, char** argv) {
       if (run_pooled) {
         pooled = RunOne(protocol, workload, num_txs, /*pooled=*/true);
         PrintResult("pooled", pooled);
+        // Prepare on-shard vs inline: the partition plane must replay the
+        // serial history exactly, so this doubles as the bench-scale
+        // partition-parallel determinism gate.
+        Result inline_prepare = RunOne(protocol, workload, num_txs,
+                                       /*pooled=*/true,
+                                       /*partition_parallel=*/false);
+        PrintResult("inline", inline_prepare);
+        if (inline_prepare.stats != pooled.stats) {
+          diverged = true;
+          std::printf("  -> prepare on-shard vs inline stats DIVERGED\n");
+        }
         report
             .AddRow(std::string(core::ProtocolName(protocol)) + "/" +
                     workload.name + "/pooled")
@@ -156,6 +174,7 @@ int main(int argc, char** argv) {
             .Set("p99_latency_ticks",
                  static_cast<int64_t>(pooled.stats.PercentileLatency(99)))
             .Set("peak_live_instances", pooled.pool.peak_live)
+            .Set("prepare_on_shard", static_cast<int64_t>(1))
             .Set("wall_seconds", pooled.wall_seconds)
             .Set("txs_per_second", pooled.txs_per_second);
       }

@@ -86,13 +86,11 @@ Database::Database(const Options& options)
     : options_(options),
       sim_(SimOptions(options)),
       rng_(options.seed),
+      plane_(options.num_partitions, sim_.num_shards()),
       pool_(options.protocol, options.consensus, options.protocol_options,
             options.unit, options.pool_instances) {
-  FC_CHECK(options.num_partitions >= 1) << "need at least one partition";
-  partitions_.reserve(static_cast<size_t>(options.num_partitions));
-  for (int i = 0; i < options.num_partitions; ++i) {
-    partitions_.push_back(std::make_unique<Participant>(i));
-  }
+  // num_partitions >= 1 is checked by the plane's constructor.
+  plane_.set_check_invariants(options.check_invariants);
 }
 
 Database::~Database() = default;
@@ -124,8 +122,11 @@ int Database::PartitionOf(const Key& key) const {
 Participant& Database::partition(int index) {
   FC_CHECK(index >= 0 && index < options_.num_partitions)
       << "bad partition index " << index;
-  return *partitions_[static_cast<size_t>(index)];
+  FlushPartitionWork();
+  return plane_.partition(index);
 }
+
+void Database::FlushPartitionWork() { plane_.Flush(&sim_); }
 
 int Database::ShardOf(TxId id) const {
   // One stateless draw from the repo's canonical splitmix64 stream seeded
@@ -147,7 +148,9 @@ void Database::Submit(Transaction tx, sim::Time at_ticks,
                              });
 }
 
-void Database::Execute(PendingTx pending) {
+void Database::PrepareTouched(const PendingTx& pending,
+                              std::vector<int>* touched,
+                              std::vector<commit::Vote>* votes) {
   // Route ops to partitions: sort (partition, op index) pairs in a reused
   // flat buffer. The index tiebreak keeps each partition's ops in
   // program order, matching the old map-of-vectors grouping without its
@@ -160,18 +163,61 @@ void Database::Execute(PendingTx pending) {
   }
   std::sort(route_.begin(), route_.end());
 
+  touched->clear();
+  for (size_t i = 0; i < route_.size(); ++i) {
+    if (i == 0 || route_[i].first != route_[i - 1].first) {
+      touched->push_back(route_[i].first);
+    }
+  }
+  // Vote slots are written through pointers on the partition-parallel
+  // path, so the vector must reach its final size before any is taken.
+  votes->assign(touched->size(), commit::Vote::kNo);
+
+  sim::Time now = sim_.control()->Now();
+  size_t slot = 0;
+  for (size_t i = 0; i < route_.size(); ++slot) {
+    int partition_id = route_[i].first;
+    if (options_.partition_parallel) {
+      std::vector<Op> group = plane_.TakeOpsBuffer();
+      for (; i < route_.size() && route_[i].first == partition_id; ++i) {
+        group.push_back(ops[static_cast<size_t>(route_[i].second)]);
+      }
+      plane_.EnqueuePrepare(partition_id, now, pending.tx.id,
+                            std::move(group), &(*votes)[slot]);
+    } else {
+      group_ops_.clear();
+      for (; i < route_.size() && route_[i].first == partition_id; ++i) {
+        group_ops_.push_back(ops[static_cast<size_t>(route_[i].second)]);
+      }
+      (*votes)[slot] =
+          plane_.partition(partition_id).Prepare(pending.tx.id, group_ops_);
+    }
+  }
+  // Barrier: deferred finishes run first (they were enqueued at earlier
+  // or equal instants), then this transaction's prepares — the same
+  // serial history the inline branch above produces. Votes are valid
+  // once this returns.
+  if (options_.partition_parallel) FlushPartitionWork();
+}
+
+void Database::FinishPartitions(TxId tx, const std::vector<int>& touched,
+                                commit::Decision decision, sim::Time at) {
+  for (int partition_id : touched) {
+    if (options_.partition_parallel) {
+      // Deferred: applied at the next flush barrier, which always comes
+      // before any later prepare or partition-state read can observe the
+      // difference.
+      plane_.EnqueueFinish(partition_id, at, tx, decision);
+    } else {
+      plane_.partition(partition_id).Finish(tx, decision);
+    }
+  }
+}
+
+void Database::Execute(PendingTx pending) {
   std::vector<int> touched;
   std::vector<commit::Vote> votes;
-  for (size_t i = 0; i < route_.size();) {
-    int partition_id = route_[i].first;
-    group_ops_.clear();
-    for (; i < route_.size() && route_[i].first == partition_id; ++i) {
-      group_ops_.push_back(ops[static_cast<size_t>(route_[i].second)]);
-    }
-    touched.push_back(partition_id);
-    votes.push_back(partitions_[static_cast<size_t>(partition_id)]->Prepare(
-        pending.tx.id, group_ops_));
-  }
+  PrepareTouched(pending, &touched, &votes);
 
   sim::Time started = sim_.control()->Now();
 
@@ -255,10 +301,8 @@ void Database::EnqueueInBatch(PendingTx pending, std::vector<int> touched,
   // learns its fate only when the protocol decides. (Finish is idempotent,
   // so the second Finish at the decide instant is a no-op.)
   if (commit::ConjoinVotes(votes) == commit::Vote::kNo) {
-    for (int partition_id : touched) {
-      partitions_[static_cast<size_t>(partition_id)]->Finish(
-          pending.tx.id, commit::Decision::kAbort);
-    }
+    FinishPartitions(pending.tx.id, touched, commit::Decision::kAbort,
+                     started);
   }
 
   sim::Time now = sim_.control()->Now();
@@ -411,10 +455,7 @@ void Database::FinishTx(const PendingTx& pending,
                         const std::vector<int>& touched,
                         commit::Decision decision, sim::Time started,
                         sim::Time finished_at) {
-  for (int partition_id : touched) {
-    partitions_[static_cast<size_t>(partition_id)]->Finish(pending.tx.id,
-                                                           decision);
-  }
+  FinishPartitions(pending.tx.id, touched, decision, finished_at);
   if (decision == commit::Decision::kCommit) {
     ++stats_.committed;
     if (touched.size() > 1) {
@@ -444,6 +485,10 @@ void Database::FinishTx(const PendingTx& pending,
 
 const DatabaseStats& Database::Drain() {
   sim_.Run();
+  // The last decides' finish tasks have no later prepare to force a
+  // barrier; drain them so the run ends with every lock released and
+  // every staged write applied.
+  FlushPartitionWork();
   FC_CHECK(inflight_ == 0) << "transactions still pending after drain";
   FC_CHECK(open_batches_.empty())
       << "open batches after drain: a window flush event was lost";
@@ -469,18 +514,21 @@ int64_t Database::TrimPool() {
 }
 
 int64_t Database::GetInt(const Key& key) {
-  return partitions_[static_cast<size_t>(PartitionOf(key))]->store().GetInt(
-      key);
+  FlushPartitionWork();
+  return plane_.partition(PartitionOf(key)).store().GetInt(key);
 }
 
 void Database::LoadInt(const Key& key, int64_t value) {
-  partitions_[static_cast<size_t>(PartitionOf(key))]->store().Put(
-      key, std::to_string(value));
+  FlushPartitionWork();
+  plane_.partition(PartitionOf(key)).store().Put(key, std::to_string(value));
 }
 
 int64_t Database::SumInts() {
+  FlushPartitionWork();
   int64_t sum = 0;
-  for (const auto& partition : partitions_) sum += partition->store().SumInts();
+  for (int p = 0; p < plane_.num_partitions(); ++p) {
+    sum += plane_.partition(p).store().SumInts();
+  }
   return sum;
 }
 

@@ -13,6 +13,7 @@
 #include "db/coordinator.h"
 #include "db/instance_pool.h"
 #include "db/participant.h"
+#include "db/partition_plane.h"
 #include "db/transaction.h"
 #include "sim/rng.h"
 #include "sim/sharded_simulator.h"
@@ -122,6 +123,13 @@ struct DatabaseStats {
 /// canonical-ordered completion effects — DatabaseStats for a given seed is
 /// bitwise identical for any shard count and for threaded vs
 /// single-threaded drains.
+///
+/// Partition data-path work (Prepare's locking, commit's write
+/// application, lock release) likewise runs off the control plane by
+/// default: each partition has an FNV-1a home shard and its work drains as
+/// shard-grouped tasks at deterministic flush barriers
+/// (db/partition_plane.h, Options::partition_parallel). The control plane
+/// keeps only transaction admission, batch formation, and retry/backoff.
 class Database {
  public:
   /// Final outcome of a submitted transaction: the protocol's real
@@ -190,6 +198,26 @@ class Database {
     /// Raises round occupancy on skewed workloads where narrow hot sets
     /// arrive alongside wider ones.
     bool batch_cross_set = false;
+    /// Partition-parallel execution (the default): partition data-path
+    /// work — Prepare's lock acquisition, commit's write application,
+    /// lock release — runs on the partition plane (db/partition_plane.h):
+    /// per-partition task queues homed on shards by FNV-1a over the
+    /// partition id and drained in parallel by the simulator's worker
+    /// pool at deterministic flush barriers, while the control plane
+    /// keeps only admission, batch formation, and retry/backoff. false
+    /// restores the inline baseline where every Participant call runs on
+    /// the control plane at its issue point. The plane's barriers replay
+    /// the serial history exactly, so DatabaseStats and BatchStats are
+    /// bitwise identical either way and across every shard/thread
+    /// placement (tests/db_placement_fuzz_test.cc).
+    bool partition_parallel = true;
+    /// Debug: sweep lock-manager and staging invariants over every
+    /// partition at each partition-plane flush barrier (see
+    /// Participant::CheckInvariants). O(held locks) per barrier; meant
+    /// for tests (tests/lock_invariant_test.cc), off by default. Only
+    /// observed on the partition-parallel path (the inline path has no
+    /// barriers to hook).
+    bool check_invariants = false;
   };
 
   /// Counters of the batching path (all zero when batching is disabled —
@@ -238,7 +266,14 @@ class Database {
 
   int num_partitions() const { return options_.num_partitions; }
   int PartitionOf(const Key& key) const;
+  /// Direct partition access; flushes pending partition-plane work first
+  /// so the caller observes a quiescent partition.
   Participant& partition(int index);
+  /// Home shard of `partition`'s data-path work under partition-parallel
+  /// execution (Options::partition_parallel); stable FNV-1a placement.
+  int HomeShardOfPartition(int partition) const {
+    return plane_.HomeShardOf(partition);
+  }
   /// Shard that will host the commit instance of transaction `id`
   /// (deterministic in the id, independent of submission order).
   int ShardOf(TxId id) const;
@@ -279,6 +314,10 @@ class Database {
   /// Batching-path counters (see BatchStats); all zero when batching is
   /// disabled.
   const BatchStats& batch_stats() const { return batch_stats_; }
+  /// Partition-plane counters (flush barriers run, tasks drained) — zero
+  /// on the inline path; outside DatabaseStats like the pool counters,
+  /// since they describe execution machinery, not workload outcomes.
+  const PartitionPlane& partition_plane() const { return plane_; }
   sim::Time Now() const { return sim_.Now(); }
 
  private:
@@ -329,6 +368,19 @@ class Database {
   };
 
   void Execute(PendingTx pending);
+  /// Issues one transaction's per-partition Prepares and collects votes
+  /// into `touched`/`votes` (sorted by partition): through the partition
+  /// plane — enqueue, flush barrier, read — when partition-parallel
+  /// execution is on, inline otherwise. Identical results either way.
+  void PrepareTouched(const PendingTx& pending, std::vector<int>* touched,
+                      std::vector<commit::Vote>* votes);
+  /// Issues `tx`'s Finish at every touched partition: deferred onto the
+  /// partition plane (running before any later prepare), or inline.
+  void FinishPartitions(TxId tx, const std::vector<int>& touched,
+                        commit::Decision decision, sim::Time at);
+  /// Drains pending partition-plane tasks (no-op when none are, or on the
+  /// inline path, which never enqueues any).
+  void FlushPartitionWork();
   /// True when multi-partition transactions take the batching path at all.
   bool BatchingEnabled() const {
     return options_.batch_max > 1 &&
@@ -363,7 +415,8 @@ class Database {
   Options options_;
   sim::ShardedSimulator sim_;
   sim::Rng rng_;
-  std::vector<std::unique_ptr<Participant>> partitions_;
+  /// Owns the partitions and their task queues; see db/partition_plane.h.
+  PartitionPlane plane_;
   CommitInstancePool pool_;
   DatabaseStats stats_;
   int64_t inflight_ = 0;

@@ -1,6 +1,9 @@
 #include "db/lock_manager.h"
 
 #include <algorithm>
+#include <unordered_set>
+
+#include "core/check.h"
 
 namespace fastcommit::db {
 
@@ -48,6 +51,61 @@ int64_t LockManager::held_locks() const {
     count += static_cast<int64_t>(keys.size());
   }
   return count;
+}
+
+int64_t LockManager::held_by(TxId tx) const {
+  auto it = held_.find(tx);
+  return it == held_.end() ? 0 : static_cast<int64_t>(it->second.size());
+}
+
+void LockManager::CheckInvariants() const {
+  // Key direction: every lock entry is live and never mixes modes.
+  int64_t owners = 0;
+  for (const auto& [key, state] : locks_) {
+    FC_CHECK(state.exclusive_owner >= 0 || !state.shared_owners.empty())
+        << "empty lock entry lingers for key '" << key << "'";
+    FC_CHECK(state.exclusive_owner < 0 || state.shared_owners.empty())
+        << "key '" << key << "' is exclusive-owned by tx "
+        << state.exclusive_owner << " with " << state.shared_owners.size()
+        << " shared owner(s) alongside";
+    if (state.exclusive_owner >= 0) ++owners;
+    owners += static_cast<int64_t>(state.shared_owners.size());
+    if (state.exclusive_owner >= 0) {
+      FC_CHECK(HeldRecorded(key, state.exclusive_owner))
+          << "exclusive owner tx " << state.exclusive_owner << " of key '"
+          << key << "' missing from held_ bookkeeping";
+    }
+    for (TxId tx : state.shared_owners) {
+      FC_CHECK(HeldRecorded(key, tx))
+          << "shared owner tx " << tx << " of key '" << key
+          << "' missing from held_ bookkeeping";
+    }
+  }
+  // Transaction direction: every held_ record names a real ownership and
+  // no key is recorded twice (the shared->exclusive upgrade reuses the
+  // original record instead of appending a second one).
+  int64_t recorded = 0;
+  for (const auto& [tx, keys] : held_) {
+    std::unordered_set<Key> seen;
+    for (const Key& key : keys) {
+      FC_CHECK(seen.insert(key).second)
+          << "tx " << tx << " records key '" << key << "' twice in held_";
+      FC_CHECK(HoldsExclusive(key, tx) || HoldsShared(key, tx))
+          << "tx " << tx << " records key '" << key
+          << "' in held_ but owns no lock on it";
+    }
+    recorded += static_cast<int64_t>(keys.size());
+  }
+  FC_CHECK(owners == recorded)
+      << "lock owner count " << owners << " != held_ record count "
+      << recorded;
+}
+
+bool LockManager::HeldRecorded(const Key& key, TxId tx) const {
+  auto it = held_.find(tx);
+  if (it == held_.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), key) !=
+         it->second.end();
 }
 
 bool LockManager::HoldsExclusive(const Key& key, TxId tx) const {

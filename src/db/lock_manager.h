@@ -26,14 +26,31 @@ class LockManager {
 
   /// Diagnostics.
   int64_t held_locks() const;
+  /// Locks held by one transaction (0 when it holds none) — the "no lock
+  /// held by a finished transaction" probe of tests/lock_invariant_test.cc.
+  int64_t held_by(TxId tx) const;
   bool HoldsExclusive(const Key& key, TxId tx) const;
   bool HoldsShared(const Key& key, TxId tx) const;
+
+  /// Debug invariant sweep, FC_CHECKs on violation:
+  ///   - no key is both exclusive-owned and shared-owned (the
+  ///     shared/exclusive coexistence ban, including after an upgrade);
+  ///   - no empty lock entries linger (ReleaseAll must erase them);
+  ///   - held_ and the per-key owner sets agree exactly in both
+  ///     directions, with no duplicate held_ entries (the upgrade path
+  ///     must not double-record a key it re-acquired exclusively).
+  /// O(held locks); called at partition-plane flush barriers when enabled.
+  void CheckInvariants() const;
 
  private:
   struct LockState {
     TxId exclusive_owner = -1;
     std::set<TxId> shared_owners;
   };
+
+  /// True when held_[tx] records `key` (linear in that transaction's held
+  /// set; CheckInvariants-only).
+  bool HeldRecorded(const Key& key, TxId tx) const;
 
   std::unordered_map<Key, LockState> locks_;
   std::unordered_map<TxId, std::vector<Key>> held_;

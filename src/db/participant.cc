@@ -1,5 +1,7 @@
 #include "db/participant.h"
 
+#include "core/check.h"
+
 namespace fastcommit::db {
 
 commit::Vote Participant::Prepare(TxId tx, const std::vector<Op>& local_ops) {
@@ -58,6 +60,24 @@ void Participant::Finish(TxId tx, commit::Decision decision) {
     staged_.erase(it);
   }
   locks_.ReleaseAll(tx);
+}
+
+void Participant::CheckInvariants() const {
+  locks_.CheckInvariants();
+  for (const auto& [tx, ops] : staged_) {
+    FC_CHECK(!ops.empty())
+        << "partition " << partition_id_ << ": empty staged entry for tx "
+        << tx << " (read-only op sets must not stage)";
+    for (const Op& op : ops) {
+      FC_CHECK(op.type != Op::Type::kGet)
+          << "partition " << partition_id_ << ": read op staged for tx "
+          << tx;
+      FC_CHECK(locks_.HoldsExclusive(op.key, tx))
+          << "partition " << partition_id_ << ": tx " << tx
+          << " staged a write to '" << op.key
+          << "' without holding its exclusive lock";
+    }
+  }
 }
 
 }  // namespace fastcommit::db

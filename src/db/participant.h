@@ -35,7 +35,17 @@ class Participant {
   KvStore& store() { return store_; }
   const KvStore& store() const { return store_; }
   LockManager& locks() { return locks_; }
+  const LockManager& locks() const { return locks_; }
   int partition_id() const { return partition_id_; }
+
+  /// Debug invariant sweep, FC_CHECKs on violation: the lock manager's
+  /// bookkeeping is internally consistent (see LockManager::
+  /// CheckInvariants) and every staged write's key is still
+  /// exclusive-locked by the staging transaction — a staged entry whose
+  /// lock was released would let a concurrent prepare write under it.
+  /// Called at partition-plane flush barriers when
+  /// Database::Options::check_invariants is set.
+  void CheckInvariants() const;
 
   int64_t prepares() const { return prepares_; }
   int64_t conflicts() const { return conflicts_; }

@@ -1,0 +1,157 @@
+#include "db/partition_plane.h"
+
+#include <utility>
+
+#include "core/check.h"
+
+namespace fastcommit::db {
+
+namespace {
+
+/// FNV-1a over the partition id's bytes — the same fully-specified hash
+/// family Database::PartitionOf uses for keys, so partition placement is
+/// identical on every platform (std::hash would not be).
+uint64_t HashPartitionId(int partition) {
+  uint64_t h = 14695981039346656037ULL;
+  auto value = static_cast<uint32_t>(partition);
+  for (int byte = 0; byte < 4; ++byte) {
+    h ^= (value >> (8 * byte)) & 0xffu;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+PartitionPlane::PartitionPlane(int num_partitions, int num_home_shards) {
+  FC_CHECK(num_partitions >= 1) << "need at least one partition";
+  FC_CHECK(num_home_shards >= 1) << "need at least one home shard";
+  queues_.resize(static_cast<size_t>(num_partitions));
+  groups_.resize(static_cast<size_t>(num_home_shards));
+  for (int p = 0; p < num_partitions; ++p) {
+    queues_[static_cast<size_t>(p)].participant =
+        std::make_unique<Participant>(p);
+    groups_[static_cast<size_t>(HomeShardOf(p))].push_back(p);
+  }
+  drain_group_ = [this](int group) {
+    // Runs on a worker thread during Flush. Only state owned by this
+    // group's partitions is touched: the participants themselves and the
+    // vote slots of their queued prepares (disjoint across partitions, so
+    // disjoint across groups).
+    for (int p : groups_[static_cast<size_t>(group)]) {
+      DrainQueue(queues_[static_cast<size_t>(p)]);
+    }
+  };
+}
+
+int PartitionPlane::HomeShardOf(int partition) const {
+  return static_cast<int>(HashPartitionId(partition) %
+                          static_cast<uint64_t>(groups_.size()));
+}
+
+Participant& PartitionPlane::partition(int index) {
+  return *queue(index).participant;
+}
+
+PartitionPlane::PartitionQueue& PartitionPlane::queue(int partition) {
+  FC_CHECK(partition >= 0 && partition < num_partitions())
+      << "bad partition index " << partition;
+  return queues_[static_cast<size_t>(partition)];
+}
+
+std::vector<Op> PartitionPlane::TakeOpsBuffer() {
+  if (spare_ops_.empty()) return {};
+  std::vector<Op> buffer = std::move(spare_ops_.back());
+  spare_ops_.pop_back();
+  return buffer;
+}
+
+void PartitionPlane::Touch(int partition) {
+  if (queues_[static_cast<size_t>(partition)].tasks.empty()) {
+    dirty_.push_back(partition);
+  }
+}
+
+void PartitionPlane::EnqueuePrepare(int partition, sim::Time at, TxId tx,
+                                    std::vector<Op> ops,
+                                    commit::Vote* vote_out) {
+  FC_CHECK(vote_out != nullptr) << "prepare task needs a vote slot";
+  PartitionQueue& q = queue(partition);
+  FC_CHECK(at >= q.last_enqueued_at)
+      << "partition task out of canonical order: prepare at " << at
+      << " after a task at " << q.last_enqueued_at;
+  q.last_enqueued_at = at;
+  Touch(partition);
+  q.tasks.push_back(Task{tx, commit::Decision::kNone, vote_out,
+                         std::move(ops)});
+  ++pending_tasks_;
+}
+
+void PartitionPlane::EnqueueFinish(int partition, sim::Time at, TxId tx,
+                                   commit::Decision decision) {
+  PartitionQueue& q = queue(partition);
+  FC_CHECK(at >= q.last_enqueued_at)
+      << "partition task out of canonical order: finish at " << at
+      << " after a task at " << q.last_enqueued_at;
+  q.last_enqueued_at = at;
+  Touch(partition);
+  q.tasks.push_back(Task{tx, decision, nullptr, {}});
+  ++pending_tasks_;
+}
+
+void PartitionPlane::DrainQueue(PartitionQueue& q) {
+  for (Task& task : q.tasks) {
+    if (task.vote_out != nullptr) {
+      *task.vote_out = q.participant->Prepare(task.tx, task.ops);
+    } else {
+      q.participant->Finish(task.tx, task.decision);
+    }
+  }
+}
+
+void PartitionPlane::ReclaimAndClear(PartitionQueue& q) {
+  for (Task& task : q.tasks) {
+    if (task.ops.capacity() > 0) {
+      task.ops.clear();
+      spare_ops_.push_back(std::move(task.ops));
+    }
+  }
+  q.tasks.clear();
+}
+
+void PartitionPlane::Flush(sim::ShardedSimulator* sim) {
+  if (pending_tasks_ == 0) return;
+  // Worker dispatch only pays when several home-shard groups hold enough
+  // work to amortize the wake + join; the typical barrier (one
+  // transaction's prepares plus a few deferred finishes) drains inline.
+  // Either route produces identical state: partitions share nothing and
+  // each queue drains FIFO.
+  bool parallel = sim != nullptr && pending_tasks_ >= kParallelFlushMin;
+  if (parallel) {
+    group_has_work_.assign(groups_.size(), 0);
+    int busy_groups = 0;
+    for (int p : dirty_) {
+      char& flag = group_has_work_[static_cast<size_t>(HomeShardOf(p))];
+      busy_groups += flag == 0;
+      flag = 1;
+    }
+    parallel = busy_groups > 1;
+  }
+  if (parallel) {
+    sim->ParallelFor(static_cast<int>(groups_.size()), drain_group_);
+  } else {
+    for (int p : dirty_) DrainQueue(queues_[static_cast<size_t>(p)]);
+  }
+  // Back on the flushing thread (ParallelFor is a barrier): recycle the
+  // drained tasks' op buffers and reset the dirty queues.
+  for (int p : dirty_) ReclaimAndClear(queues_[static_cast<size_t>(p)]);
+  dirty_.clear();
+  tasks_drained_ += pending_tasks_;
+  pending_tasks_ = 0;
+  ++flushes_;
+  if (check_invariants_) {
+    for (PartitionQueue& q : queues_) q.participant->CheckInvariants();
+  }
+}
+
+}  // namespace fastcommit::db

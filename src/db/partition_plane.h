@@ -1,0 +1,158 @@
+#ifndef FASTCOMMIT_DB_PARTITION_PLANE_H_
+#define FASTCOMMIT_DB_PARTITION_PLANE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "db/participant.h"
+#include "db/transaction.h"
+#include "sim/sharded_simulator.h"
+#include "sim/sim_time.h"
+
+namespace fastcommit::db {
+
+/// Owns every partition (Participant: lock manager + KV store + staged
+/// writes) and executes their data-path work — Prepare's lock acquisition,
+/// commit's write application, abort's lock release — off the control
+/// plane. This is the hot path "Distributed Transactions: Dissecting the
+/// Nightmare" pins as the dominant cost of a distributed commit: before
+/// this layer existed, every Participant call ran serially inside the
+/// database's control events, so the lock manager and KV store were the
+/// scalability ceiling no delay-optimal commit protocol could buy back.
+///
+/// ## Execution model
+///
+/// The control plane (submit/route, batch formation, retry/backoff) never
+/// calls into a Participant directly when partition-parallel execution is
+/// on. It enqueues *partition tasks* tagged (time, tx id) into
+/// per-partition FIFO queues and flushes the plane at deterministic
+/// barriers:
+///   - inside Database::Execute, immediately after enqueueing one
+///     transaction's prepares and before consuming their votes;
+///   - before any direct read of partition state (store accessors,
+///     Database::partition());
+///   - at the end of a drain.
+/// Finish tasks are deferred: they wait in the queues until the next
+/// barrier, which always precedes the next Prepare of any partition. Each
+/// queue therefore replays exactly the serial history — a finish enqueued
+/// at time F runs before a prepare enqueued at u >= F, and same-instant
+/// tasks keep their control-plane issue order — so outcomes (votes,
+/// partition state, per-partition counters) are bitwise identical to
+/// inline execution (Database::Options::partition_parallel = false),
+/// which tests/db_placement_fuzz_test.cc gates across random placements.
+///
+/// ## Parallelism and determinism
+///
+/// Each partition has a *home shard* — FNV-1a over the partition id
+/// bytes, the same fully-specified hash family Database::PartitionOf uses
+/// for keys — and a flush drains each home shard's partition group on one
+/// worker (sim::ShardedSimulator::ParallelFor). Partitions share no
+/// state, every queue drains in canonical (time, tx id) enqueue order,
+/// and cross-partition interleaving is unobservable, so any worker
+/// schedule yields the same result; only wall-clock changes with the
+/// thread count.
+class PartitionPlane {
+ public:
+  /// `num_home_shards` is the worker-group count, normally the sharded
+  /// simulator's shard count so partition flushes and instance drains
+  /// scale together.
+  PartitionPlane(int num_partitions, int num_home_shards);
+  PartitionPlane(const PartitionPlane&) = delete;
+  PartitionPlane& operator=(const PartitionPlane&) = delete;
+
+  int num_partitions() const { return static_cast<int>(queues_.size()); }
+  /// Home shard (worker group) of `partition`; stable FNV-1a placement,
+  /// independent of arrival order and load.
+  int HomeShardOf(int partition) const;
+
+  /// Direct partition access. Callers that may have pending tasks must
+  /// Flush first (Database's accessors do).
+  Participant& partition(int index);
+
+  /// Reusable op buffer for EnqueuePrepare (drained task buffers are
+  /// recycled here, so steady state allocates nothing per task).
+  std::vector<Op> TakeOpsBuffer();
+
+  /// Queues a Prepare of `tx`'s local ops at `partition`. The vote lands
+  /// in `*vote_out` when the plane flushes; `vote_out` must stay valid
+  /// until then (Database::Execute flushes before its votes vector dies).
+  void EnqueuePrepare(int partition, sim::Time at, TxId tx,
+                      std::vector<Op> ops, commit::Vote* vote_out);
+
+  /// Queues a Finish (apply staged writes on commit, release locks) of
+  /// `tx` at `partition`. Deferred until the next barrier.
+  void EnqueueFinish(int partition, sim::Time at, TxId tx,
+                     commit::Decision decision);
+
+  bool has_pending() const { return pending_tasks_ > 0; }
+
+  /// Drains every queue to empty. `sim` non-null runs home-shard groups
+  /// through its worker pool (ParallelFor); null drains inline in group
+  /// order. Results are identical either way. No-op with nothing pending.
+  void Flush(sim::ShardedSimulator* sim);
+
+  /// When on, Flush ends with Participant::CheckInvariants over every
+  /// partition — the debug hook tests/lock_invariant_test.cc stresses.
+  /// O(held locks + staged writes) per barrier, so off by default.
+  void set_check_invariants(bool on) { check_invariants_ = on; }
+
+  /// Flush barriers executed (those with work) and tasks drained, for the
+  /// benches' prepare-on-shard reporting. Not part of any stats equality.
+  int64_t flushes() const { return flushes_; }
+  int64_t tasks_drained() const { return tasks_drained_; }
+
+ private:
+  /// One queued unit of partition work; `vote_out` != nullptr means
+  /// Prepare (with `ops`), else Finish (with `decision`). The enqueue
+  /// instant is validated against the queue's last_enqueued_at and not
+  /// stored: FIFO drain preserves it.
+  struct Task {
+    TxId tx = 0;
+    commit::Decision decision = commit::Decision::kNone;
+    commit::Vote* vote_out = nullptr;
+    std::vector<Op> ops;
+  };
+
+  struct PartitionQueue {
+    std::unique_ptr<Participant> participant;
+    std::vector<Task> tasks;
+    /// Canonical-order guard: enqueue times per queue never decrease
+    /// (the control plane issues tasks in merged virtual-time order).
+    sim::Time last_enqueued_at = 0;
+  };
+
+  /// Worker dispatch pays a wake + join round trip (~microseconds);
+  /// below this many pending tasks a flush drains inline on the calling
+  /// thread — the common case, since a transaction's own barrier carries
+  /// only its prepares plus a few deferred finishes. Large finish
+  /// backlogs (batched rounds deciding many members) go parallel.
+  static constexpr int64_t kParallelFlushMin = 16;
+
+  PartitionQueue& queue(int partition);
+  /// Marks a partition dirty on its first pending task.
+  void Touch(int partition);
+  /// Executes one queue's tasks in FIFO order — the single dispatch site
+  /// both the parallel (drain_group_) and inline flush routes share.
+  void DrainQueue(PartitionQueue& q);
+  void ReclaimAndClear(PartitionQueue& q);
+
+  std::vector<PartitionQueue> queues_;
+  std::vector<std::vector<int>> groups_;  ///< home shard -> partition ids
+  std::function<void(int)> drain_group_;  ///< reused ParallelFor body
+  /// Partitions with pending tasks, in first-task order (deterministic:
+  /// the control plane enqueues canonically; and partition order is
+  /// unobservable anyway — partitions share no state).
+  std::vector<int> dirty_;
+  std::vector<char> group_has_work_;  ///< reused per-flush scratch
+  std::vector<std::vector<Op>> spare_ops_;  ///< recycled task op buffers
+  int64_t pending_tasks_ = 0;
+  int64_t flushes_ = 0;
+  int64_t tasks_drained_ = 0;
+  bool check_invariants_ = false;
+};
+
+}  // namespace fastcommit::db
+
+#endif  // FASTCOMMIT_DB_PARTITION_PLANE_H_

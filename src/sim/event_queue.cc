@@ -40,6 +40,10 @@ void EventQueue::Prune() const {
 
 Event EventQueue::Pop() {
   Prune();
+  // After pruning, a heap that held only cancelled entries is empty — and
+  // top()/pop() on an empty priority queue is undefined behavior, so the
+  // misuse must fail loudly here, not corrupt the heap.
+  FC_CHECK(!heap_.empty()) << "Pop() on a queue with no live events";
   // std::priority_queue::top() returns a const reference; the function
   // object must be moved out via a copy of the top element.
   Event e = heap_.top();

@@ -7,6 +7,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "core/check.h"
 #include "sim/sim_time.h"
 
 namespace fastcommit::sim {
@@ -73,7 +74,9 @@ class EventQueue {
   /// already-executed event, or a repeated cancel.
   bool Cancel(EventId id);
 
-  /// Removes and returns the earliest live event. Undefined if empty.
+  /// Removes and returns the earliest live event. FC_CHECKs that a live
+  /// event exists — a queue whose every remaining entry was cancelled is
+  /// empty, and popping it must fail loudly, not read a drained heap.
   Event Pop();
 
   /// True when no *live* events remain (cancelled entries do not count).
@@ -84,9 +87,11 @@ class EventQueue {
   /// Live events pending (excludes cancelled entries).
   size_t size() const { return heap_.size() - cancelled_.size(); }
 
-  /// Time of the earliest live pending event. Undefined if empty.
+  /// Time of the earliest live pending event. FC_CHECKs that one exists
+  /// (same all-cancelled hazard as Pop: callers must test empty() first).
   Time PeekTime() const {
     Prune();
+    FC_CHECK(!heap_.empty()) << "PeekTime() on a queue with no live events";
     return heap_.top().at;
   }
 

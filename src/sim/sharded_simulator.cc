@@ -17,6 +17,9 @@ ShardedSimulator::ShardedSimulator(const Options& options)
   for (int i = 0; i < options.num_shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
   }
+  drain_fn_ = [this](int index) {
+    shards_[static_cast<size_t>(index)]->sim.Run(horizon_);
+  };
   // The merge thread drains shards too, so n threads = n-1 workers.
   int worker_count = std::min(options.num_threads - 1, options.num_shards - 1);
   workers_.reserve(static_cast<size_t>(std::max(worker_count, 0)));
@@ -118,48 +121,54 @@ void ShardedSimulator::RunShards(Time horizon) {
     only_busy->sim.Run(horizon);
     return;
   }
-  if (workers_.empty()) {
-    for (auto& shard : shards_) shard->sim.Run(horizon);
-    return;
-  }
-  RunShardsThreaded(horizon);
+  horizon_ = horizon;
+  ParallelFor(num_shards(), drain_fn_);
 }
 
-void ShardedSimulator::RunShardsThreaded(Time horizon) {
+void ShardedSimulator::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty() || n == 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    horizon_ = horizon;
-    next_shard_.store(0, std::memory_order_relaxed);
+    task_ = &fn;
+    task_count_ = n;
+    next_index_.store(0, std::memory_order_relaxed);
     workers_running_ = static_cast<int>(workers_.size());
     ++round_;
   }
   work_cv_.notify_all();
-  // The merge thread claims shards alongside the workers.
+  // The merge thread claims indices alongside the workers.
   while (true) {
-    int index = next_shard_.fetch_add(1, std::memory_order_relaxed);
-    if (index >= num_shards()) break;
-    shards_[static_cast<size_t>(index)]->sim.Run(horizon);
+    int index = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (index >= n) break;
+    fn(index);
   }
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [this] { return workers_running_ == 0; });
+  task_ = nullptr;
 }
 
 void ShardedSimulator::WorkerMain() {
   uint64_t seen_round = 0;
   while (true) {
-    Time horizon;
+    const std::function<void(int)>* task;
+    int count;
     {
       std::unique_lock<std::mutex> lock(mu_);
       work_cv_.wait(lock,
                     [&] { return shutdown_ || round_ != seen_round; });
       if (shutdown_) return;
       seen_round = round_;
-      horizon = horizon_;
+      task = task_;
+      count = task_count_;
     }
     while (true) {
-      int index = next_shard_.fetch_add(1, std::memory_order_relaxed);
-      if (index >= num_shards()) break;
-      shards_[static_cast<size_t>(index)]->sim.Run(horizon);
+      int index = next_index_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= count) break;
+      (*task)(index);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

@@ -95,6 +95,17 @@ class ShardedSimulator {
   /// number of events executed by this call (shard + control).
   int64_t Run();
 
+  /// Runs `fn(index)` for every index in [0, n) across the worker pool
+  /// (plus the calling thread), inline when no workers exist or n == 1.
+  /// A barrier: returns only after every call finished. Must be called
+  /// from the merge thread — inside a control event, an effect, or
+  /// between runs — never from a shard event; the index-th call must
+  /// touch only state owned by that index, so any worker schedule yields
+  /// the same result. This is the same primitive the shard phase drains
+  /// event queues with; the database's partition plane borrows it to
+  /// drain per-partition task queues grouped by home shard.
+  void ParallelFor(int n, const std::function<void(int index)>& fn);
+
   /// Latest virtual time reached by any queue — the merge-order-invariant
   /// notion of "now" (per-queue clocks lag each other transiently).
   Time Now() const;
@@ -121,7 +132,6 @@ class ShardedSimulator {
   Time MinShardEventTime() const;
   /// Drains every shard through events at <= `horizon`.
   void RunShards(Time horizon);
-  void RunShardsThreaded(Time horizon);
   /// Applies buffered effects in canonical (time, key) order.
   void ApplyEffects();
 
@@ -133,10 +143,11 @@ class ShardedSimulator {
   std::vector<Effect> merged_effects_;  ///< reused scratch for ApplyEffects
 
   // Worker-pool state (only used when Options::num_threads > 1). The merge
-  // thread publishes a horizon and a round number; workers claim shards via
-  // an atomic cursor and report back through the same mutex, so each phase
-  // is bracketed by acquire/release pairs and shard state is safely handed
-  // between threads.
+  // thread publishes a task (an indexed callback and an index count) and a
+  // round number; workers claim indices via an atomic cursor and report
+  // back through the same mutex, so each ParallelFor is bracketed by
+  // acquire/release pairs and per-index state is safely handed between
+  // threads. The shard phase and the partition plane share this protocol.
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;
@@ -144,8 +155,13 @@ class ShardedSimulator {
   uint64_t round_ = 0;
   int workers_running_ = 0;
   bool shutdown_ = false;
+  const std::function<void(int)>* task_ = nullptr;
+  int task_count_ = 0;
+  std::atomic<int> next_index_{0};
+  /// Reused shard-phase body for ParallelFor (avoids a std::function
+  /// allocation per phase); reads horizon_.
+  std::function<void(int)> drain_fn_;
   Time horizon_ = 0;
-  std::atomic<int> next_shard_{0};
 };
 
 }  // namespace fastcommit::sim

@@ -91,6 +91,84 @@ TEST(EventQueueTest, CancelAfterExecutionReportsFailure) {
   EXPECT_FALSE(q.Cancel(id)) << "the event already ran; its handle is dead";
 }
 
+TEST(EventQueueTest, HandlesAreNeverReusedAcrossPopAndCancel) {
+  // A dead handle (executed or cancelled) must not alias a later event:
+  // seq numbers are issued monotonically, so cancelling the stale id is a
+  // reported no-op and the fresh event is unaffected.
+  EventQueue q;
+  EventId first = q.PushCancellable(10, EventClass::kControl, [] {});
+  q.Pop().fn();
+  int fired = 0;
+  EventId second = q.PushCancellable(20, EventClass::kControl,
+                                     [&] { ++fired; });
+  EXPECT_NE(first, second);
+  EXPECT_FALSE(q.Cancel(first)) << "stale handle must stay dead";
+  EXPECT_EQ(q.size(), 1u) << "stale cancel must not touch the live event";
+  q.Pop().fn();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(q.Cancel(second)) << "executed handle is dead too";
+}
+
+TEST(EventQueueTest, AllCancelledQueueReadsAsEmpty) {
+  // The all-cancelled edge: every remaining heap entry is a cancelled
+  // timer. The queue must read as drained — empty() true, zero size — and
+  // the public accessors must not touch the (conceptually empty) heap.
+  EventQueue q;
+  int fired = 0;
+  EventId a = q.PushCancellable(10, EventClass::kControl, [&] { ++fired; });
+  EventId b = q.PushCancellable(20, EventClass::kControl, [&] { ++fired; });
+  EXPECT_TRUE(q.Cancel(b));  // cancel out of order: b is buried, a is head
+  EXPECT_TRUE(q.Cancel(a));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(fired, 0);
+  // The queue stays usable: a fresh event is live and runs.
+  q.Push(30, EventClass::kControl, [&] { ++fired; });
+  EXPECT_EQ(q.PeekTime(), 30);
+  q.Pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueDeathTest, PopOnAllCancelledQueueFailsLoudly) {
+  // top()/pop() on an emptied heap is UB; the misuse must abort with a
+  // diagnostic instead. (Callers are required to test empty() first; the
+  // sharded merge loop does via NextEventTime().)
+  EventQueue q;
+  EventId id = q.PushCancellable(10, EventClass::kControl, [] {});
+  q.Cancel(id);
+  EXPECT_DEATH(q.Pop(), "no live events");
+}
+
+TEST(EventQueueDeathTest, PeekTimeOnAllCancelledQueueFailsLoudly) {
+  EventQueue q;
+  EventId id = q.PushCancellable(10, EventClass::kControl, [] {});
+  q.Cancel(id);
+  EXPECT_DEATH(q.PeekTime(), "no live events");
+}
+
+TEST(EventQueueDeathTest, PopOnNeverFilledQueueFailsLoudly) {
+  EventQueue q;
+  EXPECT_DEATH(q.Pop(), "no live events");
+}
+
+TEST(SimulatorTest, AllCancelledSimulatorIsIdleAndRunsNothing) {
+  // Simulator-level view of the same edge: a queue holding only cancelled
+  // timers is idle, NextEventTime reports kMaxTime, and Run is a no-op
+  // that leaves the clock at the last live event.
+  Simulator s;
+  int fired = 0;
+  s.ScheduleAt(5, EventClass::kControl, [&] { ++fired; });
+  EventId t1 = s.ScheduleCancellableAt(50, EventClass::kTimer, [&] { ++fired; });
+  EventId t2 = s.ScheduleCancellableAt(60, EventClass::kTimer, [&] { ++fired; });
+  EXPECT_TRUE(s.Cancel(t1));
+  EXPECT_TRUE(s.Cancel(t2));
+  EXPECT_EQ(s.Run(), 1);
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(s.idle());
+  EXPECT_EQ(s.NextEventTime(), kMaxTime);
+  EXPECT_EQ(s.Now(), 5) << "cancelled timers must not advance the clock";
+}
+
 TEST(EventQueueTest, BuriedCancelledEventIsSkippedNotExecuted) {
   EventQueue q;
   std::vector<int> order;

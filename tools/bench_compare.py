@@ -35,8 +35,39 @@ HIGHER_IS_BETTER = ("occupancy",)
 REPORT_ONLY = ("wall_seconds", "txs_per_second", "speedup_vs_single_queue")
 
 
+def validate_doc(doc, source):
+    """Structural failures for one bench document ([] when well-formed).
+
+    A malformed document (hand-edited baseline, truncated bench output)
+    must fail the gate with a named problem, not die in a KeyError midway
+    through the comparison — and duplicate row keys must fail rather than
+    letting a dict build silently drop one measurement.
+    """
+    failures = []
+    if not isinstance(doc, dict):
+        return [f"{source}: document is not a JSON object"]
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        failures.append(f"{source}: missing or non-string 'bench' name")
+    if not isinstance(doc.get("rows"), list):
+        failures.append(f"{source}: missing or non-list 'rows'")
+        return failures
+    seen = set()
+    for i, row in enumerate(doc["rows"]):
+        if not isinstance(row, dict):
+            failures.append(f"{source}: row {i} is not a JSON object")
+            continue
+        key = row.get("key")
+        if not isinstance(key, str) or not key:
+            failures.append(f"{source}: row {i} has no usable 'key'")
+            continue
+        if key in seen:
+            failures.append(f"{source}: duplicate row key '{key}'")
+        seen.add(key)
+    return failures
+
+
 def load_rows(doc):
-    """{row key -> row dict} for one bench document."""
+    """{row key -> row dict} for one validated bench document."""
     return {row["key"]: row for row in doc["rows"]}
 
 
@@ -100,10 +131,34 @@ def main():
     if bool(args.baseline) == bool(args.merge):
         parser.error("exactly one of --baseline / --merge is required")
 
+    structural = []
     current_docs = []
     for path in args.current:
         with open(path) as f:
-            current_docs.append(json.load(f))
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as err:
+                print(f"MALFORMED BENCH FILE {path}: {err}", file=sys.stderr)
+                return 1
+        structural += validate_doc(doc, path)
+        current_docs.append(doc)
+    # Same silent-drop hazard as duplicate row keys, one level up: two
+    # documents with the same bench name would collapse in the by-name
+    # dict builds below (gating against, or merging, only the last one).
+    seen_names = set()
+    for path, doc in zip(args.current, current_docs):
+        name = doc.get("bench") if isinstance(doc, dict) else None
+        if name in seen_names:
+            structural.append(
+                f"{path}: duplicate bench name '{name}' across the given "
+                "current files")
+        seen_names.add(name)
+    if structural:
+        print(f"MALFORMED BENCH DATA ({len(structural)} problem(s)):",
+              file=sys.stderr)
+        for line in structural:
+            print(f"  {line}", file=sys.stderr)
+        return 1
 
     if args.merge:
         # Update/insert per-bench entries, keeping baseline benches that
@@ -115,6 +170,12 @@ def main():
                 by_name = {d["bench"]: d for d in json.load(f)["benches"]}
         except FileNotFoundError:
             pass
+        except (json.JSONDecodeError, KeyError, TypeError) as err:
+            # A corrupt existing baseline must stop the merge: overwriting
+            # it from scratch would silently drop the other benches' gates.
+            print(f"MALFORMED BASELINE {args.merge}: {err!r} — fix or "
+                  "delete it before merging", file=sys.stderr)
+            return 1
         by_name.update({d["bench"]: d for d in current_docs})
         merged = {"benches": [by_name[k] for k in sorted(by_name)]}
         with open(args.merge, "w") as f:
@@ -125,7 +186,31 @@ def main():
         return 0
 
     with open(args.baseline) as f:
-        baseline = json.load(f)
+        try:
+            baseline = json.load(f)
+        except json.JSONDecodeError as err:
+            print(f"MALFORMED BASELINE {args.baseline}: {err}",
+                  file=sys.stderr)
+            return 1
+    if not isinstance(baseline, dict) or \
+            not isinstance(baseline.get("benches"), list):
+        print(f"MALFORMED BASELINE {args.baseline}: no 'benches' list",
+              file=sys.stderr)
+        return 1
+    seen_names = set()
+    for doc in baseline["benches"]:
+        structural += validate_doc(doc, args.baseline)
+        name = doc.get("bench") if isinstance(doc, dict) else None
+        if name in seen_names:
+            structural.append(
+                f"{args.baseline}: duplicate bench name '{name}'")
+        seen_names.add(name)
+    if structural:
+        print(f"MALFORMED BASELINE DATA ({len(structural)} problem(s)):",
+              file=sys.stderr)
+        for line in structural:
+            print(f"  {line}", file=sys.stderr)
+        return 1
     baseline_by_name = {d["bench"]: d for d in baseline["benches"]}
 
     all_failures, all_reports = [], []

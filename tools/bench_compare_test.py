@@ -1,0 +1,279 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_compare.py (stdlib unittest only).
+
+Covers the behaviors CI leans on: regression detection in both metric
+directions, coverage failures (dropped rows / metrics / bench files),
+--merge baseline refresh including partial refreshes, and malformed input
+producing a named failure instead of a traceback.
+
+Run:  python3 tools/bench_compare_test.py
+(Also wired into tools/check.sh and the CI default job.)
+"""
+
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import bench_compare  # noqa: E402
+
+
+def make_doc(bench="db_x", txs=1000, rows=None):
+    if rows is None:
+        rows = [{"key": "inbac/a", "msgs_per_commit": 10.0,
+                 "mean_latency_ticks": 300.0, "occupancy": 4.0,
+                 "wall_seconds": 1.0}]
+    return {"bench": bench, "txs": txs, "rows": rows}
+
+
+class BenchCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def path(self, name):
+        return os.path.join(self.dir.name, name)
+
+    def write(self, name, payload, raw=None):
+        with open(self.path(name), "w") as f:
+            if raw is not None:
+                f.write(raw)
+            else:
+                json.dump(payload, f)
+        return self.path(name)
+
+    def run_main(self, argv):
+        """Returns (exit code, stdout, stderr) of bench_compare.main()."""
+        out, err = io.StringIO(), io.StringIO()
+        old_argv = sys.argv
+        sys.argv = ["bench_compare.py"] + argv
+        try:
+            with contextlib.redirect_stdout(out), \
+                    contextlib.redirect_stderr(err):
+                code = bench_compare.main()
+        finally:
+            sys.argv = old_argv
+        return code, out.getvalue(), err.getvalue()
+
+    def write_baseline(self, name, docs):
+        return self.write(name, {"benches": docs})
+
+    # ----------------------------------------------------- gate behavior --
+
+    def test_identical_run_passes(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        cur = self.write("cur.json", make_doc())
+        code, out, _ = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("within", out)
+
+    def test_within_tolerance_passes(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        doc = make_doc()
+        doc["rows"][0]["msgs_per_commit"] = 10.4  # +4% < 5%
+        cur = self.write("cur.json", doc)
+        self.assertEqual(self.run_main(["--baseline", base, cur])[0], 0)
+
+    def test_lower_is_better_regression_fails(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        doc = make_doc()
+        doc["rows"][0]["msgs_per_commit"] = 11.0  # +10% > 5%
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("msgs_per_commit", err)
+        self.assertIn("BENCH REGRESSION", err)
+
+    def test_improvement_passes(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        doc = make_doc()
+        doc["rows"][0]["msgs_per_commit"] = 2.0
+        doc["rows"][0]["occupancy"] = 9.0
+        cur = self.write("cur.json", doc)
+        self.assertEqual(self.run_main(["--baseline", base, cur])[0], 0)
+
+    def test_higher_is_better_regression_fails(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        doc = make_doc()
+        doc["rows"][0]["occupancy"] = 3.0  # -25% occupancy
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("occupancy", err)
+
+    def test_wall_clock_is_report_only(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        doc = make_doc()
+        doc["rows"][0]["wall_seconds"] = 50.0  # 50x slower: report, no fail
+        cur = self.write("cur.json", doc)
+        code, out, _ = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("report-only", out)
+
+    def test_missing_gated_metric_fails(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        doc = make_doc()
+        del doc["rows"][0]["msgs_per_commit"]
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("disappeared", err)
+
+    def test_dropped_row_fails(self):
+        two_rows = make_doc(rows=[
+            {"key": "inbac/a", "msgs_per_commit": 10.0},
+            {"key": "inbac/b", "msgs_per_commit": 12.0},
+        ])
+        base = self.write_baseline("base.json", [two_rows])
+        cur = self.write("cur.json", make_doc(
+            rows=[{"key": "inbac/a", "msgs_per_commit": 10.0}]))
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("inbac/b", err)
+
+    def test_new_row_is_report_only(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        doc = make_doc()
+        doc["rows"].append({"key": "inbac/new", "msgs_per_commit": 1.0})
+        cur = self.write("cur.json", doc)
+        code, out, _ = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("new row", out)
+
+    def test_missing_bench_file_fails(self):
+        base = self.write_baseline(
+            "base.json", [make_doc("db_x"), make_doc("db_y")])
+        cur = self.write("cur.json", make_doc("db_x"))
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("db_y", err)
+
+    def test_txs_mismatch_fails(self):
+        base = self.write_baseline("base.json", [make_doc(txs=500)])
+        cur = self.write("cur.json", make_doc(txs=1000))
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("txs", err)
+
+    def test_unknown_bench_is_skipped_with_report(self):
+        base = self.write_baseline("base.json", [make_doc("db_x")])
+        cur_x = self.write("x.json", make_doc("db_x"))
+        cur_z = self.write("z.json", make_doc("db_z"))
+        code, out, _ = self.run_main(["--baseline", base, cur_x, cur_z])
+        self.assertEqual(code, 0)
+        self.assertIn("no baseline yet", out)
+
+    # -------------------------------------------------------- merge mode --
+
+    def test_merge_creates_baseline(self):
+        cur = self.write("cur.json", make_doc())
+        out_path = self.path("merged.json")
+        code, out, _ = self.run_main(["--merge", out_path, cur])
+        self.assertEqual(code, 0)
+        with open(out_path) as f:
+            merged = json.load(f)
+        self.assertEqual([d["bench"] for d in merged["benches"]], ["db_x"])
+        self.assertIn("wrote", out)
+
+    def test_merge_partial_refresh_keeps_other_benches(self):
+        out_path = self.write_baseline(
+            "merged.json", [make_doc("db_x"), make_doc("db_y", txs=77)])
+        fresh = make_doc("db_x", txs=2000)
+        cur = self.write("cur.json", fresh)
+        code, _, _ = self.run_main(["--merge", out_path, cur])
+        self.assertEqual(code, 0)
+        with open(out_path) as f:
+            merged = json.load(f)
+        by_name = {d["bench"]: d for d in merged["benches"]}
+        self.assertEqual(set(by_name), {"db_x", "db_y"})
+        self.assertEqual(by_name["db_x"]["txs"], 2000)  # refreshed
+        self.assertEqual(by_name["db_y"]["txs"], 77)    # preserved
+
+    def test_merge_then_gate_round_trips(self):
+        cur = self.write("cur.json", make_doc())
+        out_path = self.path("merged.json")
+        self.assertEqual(self.run_main(["--merge", out_path, cur])[0], 0)
+        self.assertEqual(self.run_main(["--baseline", out_path, cur])[0], 0)
+
+    def test_merge_refuses_corrupt_existing_baseline(self):
+        out_path = self.write("merged.json", None, raw="{not json")
+        cur = self.write("cur.json", make_doc())
+        code, _, err = self.run_main(["--merge", out_path, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("MALFORMED BASELINE", err)
+
+    # --------------------------------------------------- malformed input --
+
+    def test_malformed_json_fails_cleanly(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        cur = self.write("cur.json", None, raw="{\"bench\": \"db_x\", ")
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("MALFORMED BENCH FILE", err)
+
+    def test_row_without_key_fails_cleanly(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        doc = make_doc()
+        doc["rows"].append({"msgs_per_commit": 1.0})  # no "key"
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("no usable 'key'", err)
+
+    def test_duplicate_row_keys_fail(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        doc = make_doc()
+        doc["rows"].append(dict(doc["rows"][0]))  # same key twice
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("duplicate row key", err)
+
+    def test_non_object_row_fails_cleanly(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        doc = make_doc()
+        doc["rows"].append(["not", "a", "row"])
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("not a JSON object", err)
+
+    def test_duplicate_bench_name_across_current_files_fails(self):
+        base = self.write_baseline("base.json", [make_doc()])
+        cur_a = self.write("a.json", make_doc())
+        cur_b = self.write("b.json", make_doc())  # same bench name
+        code, _, err = self.run_main(["--baseline", base, cur_a, cur_b])
+        self.assertEqual(code, 1)
+        self.assertIn("duplicate bench name", err)
+
+    def test_duplicate_bench_name_in_merge_inputs_fails(self):
+        cur_a = self.write("a.json", make_doc())
+        cur_b = self.write("b.json", make_doc())
+        code, _, err = self.run_main(
+            ["--merge", self.path("merged.json"), cur_a, cur_b])
+        self.assertEqual(code, 1)
+        self.assertIn("duplicate bench name", err)
+
+    def test_duplicate_bench_name_in_baseline_fails(self):
+        base = self.write_baseline(
+            "base.json", [make_doc(), make_doc()])
+        cur = self.write("cur.json", make_doc())
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("duplicate bench name", err)
+
+    def test_malformed_baseline_row_fails_cleanly(self):
+        base = self.write_baseline(
+            "base.json", [make_doc(rows=[{"nokey": 1}])])
+        cur = self.write("cur.json", make_doc())
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("MALFORMED BASELINE DATA", err)
+
+
+if __name__ == "__main__":
+    unittest.main()

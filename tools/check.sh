@@ -22,8 +22,13 @@ run_suite() {
 
 run_suite build
 
+# The perf-gate tool has its own unit suite (regression detection, --merge
+# refresh, malformed-input handling) — cheap, so it runs in every mode.
+python3 tools/bench_compare_test.py
+
 # Batching determinism gate at reduced scale: bench_db_batching exits
-# nonzero if DatabaseStats diverge across shard/thread placements for any
+# nonzero if DatabaseStats or BatchStats diverge between the serial
+# reference and a sharded/threaded prepare-on-shard placement for any
 # batching window, or if batching stops reducing per-commit messages.
 # (CI reruns it, plus the other bench gates, at 20k transactions.)
 ./build/bench_db_batching --txs 4000
