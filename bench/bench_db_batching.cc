@@ -232,6 +232,8 @@ int main(int argc, char** argv) {
             // Every row is gated identical between prepare on-shard and
             // inline, so 1 records the production execution mode.
             .Set("prepare_on_shard", static_cast<int64_t>(1))
+            .Set("commits_per_tick",
+                 CommitsPerTick(r.stats.committed, r.stats.makespan))
             .Set("makespan_ticks", static_cast<int64_t>(r.stats.makespan));
       }
       if (widest_fixed.stats.committed == 0 ||

@@ -188,8 +188,12 @@ int main(int argc, char** argv) {
           .Set("p99_latency_ticks",
                static_cast<int64_t>(r.stats.PercentileLatency(99)))
           .Set("peak_live_instances", r.pool.peak_live)
+          .Set("commits_per_tick",
+               CommitsPerTick(r.stats.committed, r.stats.makespan))
           .Set("wall_seconds", r.wall_seconds)
           .Set("txs_per_second", r.txs_per_second)
+          .Set("committed_per_sec_wall",
+               CommittedPerSecWall(r.stats.committed, r.wall_seconds))
           .Set("speedup_vs_single_queue",
                r.wall_seconds == 0 ? 0.0 : base.wall_seconds / r.wall_seconds);
     }

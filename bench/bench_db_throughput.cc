@@ -175,8 +175,13 @@ int main(int argc, char** argv) {
                  static_cast<int64_t>(pooled.stats.PercentileLatency(99)))
             .Set("peak_live_instances", pooled.pool.peak_live)
             .Set("prepare_on_shard", static_cast<int64_t>(1))
+            .Set("commits_per_tick", CommitsPerTick(pooled.stats.committed,
+                                                    pooled.stats.makespan))
             .Set("wall_seconds", pooled.wall_seconds)
-            .Set("txs_per_second", pooled.txs_per_second);
+            .Set("txs_per_second", pooled.txs_per_second)
+            .Set("committed_per_sec_wall",
+                 CommittedPerSecWall(pooled.stats.committed,
+                                     pooled.wall_seconds));
       }
       if (run_baseline) {
         baseline = RunOne(protocol, workload, num_txs, /*pooled=*/false);

@@ -49,6 +49,25 @@ inline double MsgsPerCommit(int64_t commit_messages, int64_t committed) {
                               static_cast<double>(committed);
 }
 
+/// Simulated throughput: committed transactions per virtual tick (the
+/// `commits_per_tick` JSON field, gated higher-is-better — deterministic
+/// for a seed, so regressions here are real scheduling/batching changes,
+/// not machine noise). 0.0 for an empty or zero-length run.
+inline double CommitsPerTick(int64_t committed, int64_t makespan_ticks) {
+  return makespan_ticks == 0 ? 0.0
+                             : static_cast<double>(committed) /
+                                   static_cast<double>(makespan_ticks);
+}
+
+/// Wall-clock sustained throughput: committed transactions per second of
+/// host time (the `committed_per_sec_wall` JSON field — report-only, it
+/// varies with the machine like `txs_per_second`). 0.0 guards cold runs.
+inline double CommittedPerSecWall(int64_t committed, double wall_seconds) {
+  return wall_seconds <= 0.0
+             ? 0.0
+             : static_cast<double>(committed) / wall_seconds;
+}
+
 /// Machine-readable bench output (the `--json <path>` flag of the db
 /// benches): one JSON document per bench run, one row per measured
 /// configuration, keyed so `tools/bench_compare.py` can diff runs against

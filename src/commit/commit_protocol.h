@@ -60,6 +60,21 @@ inline Vote ConjoinVotes(const std::vector<Vote>& votes) {
   return result;
 }
 
+/// Per-position disjunction of a member's aligned votes into a round's
+/// accumulator: the round's vote at participant j is kYes iff *some*
+/// member prepared there (see the round/member split above). Both vectors
+/// must already share the round's width — same-set members natively,
+/// cross-set joiners and merged subset members via AlignVotesToSuperset.
+inline void DisjoinVotesInto(std::vector<Vote>* round_votes,
+                             const std::vector<Vote>& member_votes) {
+  FC_CHECK(round_votes->size() == member_votes.size())
+      << "DisjoinVotesInto: width mismatch (" << round_votes->size()
+      << " vs " << member_votes.size() << ")";
+  for (size_t j = 0; j < member_votes.size(); ++j) {
+    (*round_votes)[j] = VoteOr((*round_votes)[j], member_votes[j]);
+  }
+}
+
 /// Cross-set round admission (db/database.h): a transaction whose sorted
 /// partition set `sub` is a subset of an open round's sorted set `super`
 /// may join that round. Its vote vector is re-aligned to the round's

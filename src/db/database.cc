@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "db/traffic.h"
 
 namespace fastcommit::db {
 
@@ -63,6 +64,7 @@ bool DatabaseStats::operator==(const DatabaseStats& other) const {
          retries == other.retries &&
          single_partition == other.single_partition &&
          commit_messages == other.commit_messages &&
+         offered == other.offered && shed == other.shed &&
          latency == other.latency && makespan == other.makespan;
 }
 
@@ -126,7 +128,26 @@ Participant& Database::partition(int index) {
   return plane_.partition(index);
 }
 
-void Database::FlushPartitionWork() { plane_.Flush(&sim_); }
+void Database::FlushPartitionWork() {
+  plane_.Flush(&sim_);
+  if (options_.check_invariants && LookaheadEnabled()) {
+    // Tracker soundness sweep: after a flush every enqueued finish has
+    // run, so any lock still held belongs to a transaction whose Finish is
+    // not yet enqueued — exactly the in-flight window the lookahead
+    // tracker must over-approximate. A held key missing from the tracker
+    // could hand a later conflicting transaction a false disjointness
+    // proof, and a predicted-kNo crash far from the cause.
+    for (int p = 0; p < plane_.num_partitions(); ++p) {
+      plane_.partition(p).locks().ForEachHeldKey(
+          [this](const Key& key, TxId tx) {
+            auto it = busy_key_counts_.find(HashKey(key));
+            FC_CHECK(it != busy_key_counts_.end() && it->second > 0)
+                << "conflict-lookahead tracker lost key '" << key
+                << "' still locked by tx " << tx;
+          });
+    }
+  }
+}
 
 int Database::ShardOf(TxId id) const {
   // One stateless draw from the repo's canonical splitmix64 stream seeded
@@ -148,6 +169,44 @@ void Database::Submit(Transaction tx, sim::Time at_ticks,
                              });
 }
 
+void Database::SubmitArrivals(TrafficEngine* engine,
+                              CompletionCallback on_complete) {
+  FC_CHECK(engine != nullptr) << "null traffic engine";
+  // One shared callback for the whole stream (arrivals only ever copy the
+  // pointer), pumped one arrival per event so the queue never holds more
+  // than one future arrival of this stream.
+  ScheduleNextArrival(
+      engine, std::make_shared<CompletionCallback>(std::move(on_complete)));
+}
+
+void Database::ScheduleNextArrival(
+    TrafficEngine* engine, std::shared_ptr<CompletionCallback> on_complete) {
+  TrafficEngine::Arrival arrival;
+  if (!engine->Next(&arrival)) return;
+  sim_.control()->ScheduleAt(
+      std::max(arrival.at, sim_.Now()), sim::EventClass::kControl,
+      [this, engine, on_complete = std::move(on_complete),
+       tx = std::move(arrival.tx)]() mutable {
+        AdmitArrival(std::move(tx), on_complete);
+        ScheduleNextArrival(engine, std::move(on_complete));
+      });
+}
+
+void Database::AdmitArrival(
+    Transaction tx, const std::shared_ptr<CompletionCallback>& on_complete) {
+  ++stats_.offered;
+  if (options_.max_inflight > 0 && inflight_ >= options_.max_inflight) {
+    // Saturated: shed at admission instead of queueing unboundedly — the
+    // open-loop analogue of a front door turning requests away. The
+    // decision is a real kAbort, delivered immediately.
+    ++stats_.shed;
+    if (*on_complete) (*on_complete)(tx, commit::Decision::kAbort);
+    return;
+  }
+  ++inflight_;
+  Execute(PendingTx{std::move(tx), 1, *on_complete});
+}
+
 void Database::PrepareTouched(const PendingTx& pending,
                               std::vector<int>* touched,
                               std::vector<commit::Vote>* votes) {
@@ -157,9 +216,15 @@ void Database::PrepareTouched(const PendingTx& pending,
   // per-transaction node allocations.
   const std::vector<Op>& ops = pending.tx.ops;
   FC_CHECK(!ops.empty()) << "empty transaction";
+  const bool lookahead = LookaheadEnabled();
   route_.clear();
+  hash_scratch_.clear();
   for (size_t i = 0; i < ops.size(); ++i) {
-    route_.emplace_back(PartitionOf(ops[i].key), static_cast<int>(i));
+    uint64_t h = HashKey(ops[i].key);
+    route_.emplace_back(
+        static_cast<int>(h % static_cast<uint64_t>(options_.num_partitions)),
+        static_cast<int>(i));
+    if (lookahead) hash_scratch_.push_back(h);
   }
   std::sort(route_.begin(), route_.end());
 
@@ -173,6 +238,31 @@ void Database::PrepareTouched(const PendingTx& pending,
   // path, so the vector must reach its final size before any is taken.
   votes->assign(touched->size(), commit::Vote::kNo);
 
+  // Conflict-aware lookahead: if every key hash is disjoint from every
+  // in-flight transaction's, no-wait locking cannot deny this transaction
+  // a single lock (self-conflicts always succeed: exclusive subsumes
+  // shared, and a sole shared owner may upgrade), so each partition's vote
+  // is provably kYes and the flush barrier below can be skipped — the
+  // prepares drain at a later, fatter barrier. The check runs before this
+  // transaction's own hashes join the tracker, so its intra-transaction
+  // key reuse never blocks the proof.
+  bool predicted = false;
+  if (lookahead) {
+    predicted = true;
+    for (uint64_t h : hash_scratch_) {
+      if (busy_key_counts_.find(h) != busy_key_counts_.end()) {
+        predicted = false;
+        break;
+      }
+    }
+    for (uint64_t h : hash_scratch_) ++busy_key_counts_[h];
+    bool inserted =
+        inflight_key_hashes_.emplace(pending.tx.id, hash_scratch_).second;
+    FC_CHECK(inserted) << "tx " << pending.tx.id
+                       << " already tracked: a retry executed before its "
+                          "previous attempt's finish was enqueued";
+  }
+
   sim::Time now = sim_.control()->Now();
   size_t slot = 0;
   for (size_t i = 0; i < route_.size(); ++slot) {
@@ -182,8 +272,13 @@ void Database::PrepareTouched(const PendingTx& pending,
       for (; i < route_.size() && route_[i].first == partition_id; ++i) {
         group.push_back(ops[static_cast<size_t>(route_[i].second)]);
       }
-      plane_.EnqueuePrepare(partition_id, now, pending.tx.id,
-                            std::move(group), &(*votes)[slot]);
+      if (predicted) {
+        plane_.EnqueuePredictedPrepare(partition_id, now, pending.tx.id,
+                                       std::move(group));
+      } else {
+        plane_.EnqueuePrepare(partition_id, now, pending.tx.id,
+                              std::move(group), &(*votes)[slot]);
+      }
     } else {
       group_ops_.clear();
       for (; i < route_.size() && route_[i].first == partition_id; ++i) {
@@ -193,15 +288,42 @@ void Database::PrepareTouched(const PendingTx& pending,
           plane_.partition(partition_id).Prepare(pending.tx.id, group_ops_);
     }
   }
-  // Barrier: deferred finishes run first (they were enqueued at earlier
-  // or equal instants), then this transaction's prepares — the same
-  // serial history the inline branch above produces. Votes are valid
-  // once this returns.
-  if (options_.partition_parallel) FlushPartitionWork();
+  if (options_.partition_parallel) {
+    if (predicted) {
+      // No barrier: the proof stands in for the flush. The queued
+      // predicted prepares re-derive these votes at the next barrier and
+      // FC_CHECK the match.
+      votes->assign(touched->size(), commit::Vote::kYes);
+      ++lookahead_skips_;
+    } else {
+      // Barrier: deferred finishes run first (they were enqueued at
+      // earlier or equal instants), then this transaction's prepares —
+      // the same serial history the inline branch above produces. Votes
+      // are valid once this returns.
+      FlushPartitionWork();
+    }
+  }
+}
+
+void Database::ReleaseTrackedKeys(TxId tx) {
+  auto it = inflight_key_hashes_.find(tx);
+  if (it == inflight_key_hashes_.end()) return;
+  for (uint64_t h : it->second) {
+    auto count = busy_key_counts_.find(h);
+    FC_CHECK(count != busy_key_counts_.end() && count->second > 0)
+        << "conflict-lookahead tracker underflow for tx " << tx;
+    if (--count->second == 0) busy_key_counts_.erase(count);
+  }
+  inflight_key_hashes_.erase(it);
 }
 
 void Database::FinishPartitions(TxId tx, const std::vector<int>& touched,
                                 commit::Decision decision, sim::Time at) {
+  // The tracker can forget this transaction as soon as its finishes are
+  // *enqueued*: FIFO queue order guarantees they drain before any
+  // later-enqueued prepare on the same partitions, so a subsequent
+  // disjointness proof that no longer sees these keys is still sound.
+  if (LookaheadEnabled()) ReleaseTrackedKeys(tx);
   for (int partition_id : touched) {
     if (options_.partition_parallel) {
       // Deferred: applied at the next flush barrier, which always comes
@@ -346,13 +468,19 @@ void Database::EnqueueInBatch(PendingTx pending, std::vector<int> touched,
     Batch& batch = it->second;
     batch.id = next_batch_id_++;
     batch.partitions = touched;
-    // Window flush: a cancellable control event at creation + window. A
+    batch.deadline =
+        now + (controller ? WindowFor(*controller) : options_.batch_window);
+    // Round merging: any open batch over a strict subset of this set folds
+    // into this wider round before its timer is armed, and may pull the
+    // deadline earlier than the window above.
+    if (options_.batch_round_merge) AbsorbSubsetBatches(&batch);
+    // Window flush: a cancellable control event at the deadline. A
     // size-triggered flush cancels it; the id fence additionally covers
     // schedulers without cancellation, where the timer would still fire
     // against a slot that may hold a younger batch.
     batch.timer = sim_.control()->ScheduleCancellableAt(
-        now + (controller ? WindowFor(*controller) : options_.batch_window),
-        sim::EventClass::kControl, [this, key = touched, id = batch.id]() {
+        batch.deadline, sim::EventClass::kControl,
+        [this, key = touched, id = batch.id]() {
           auto it = open_batches_.find(key);
           if (it == open_batches_.end() || it->second.id != id) return;
           ++batch_stats_.window_flushes;
@@ -373,6 +501,37 @@ void Database::EnqueueInBatch(PendingTx pending, std::vector<int> touched,
   }
 }
 
+void Database::AbsorbSubsetBatches(Batch* super) {
+  for (auto cand = open_batches_.begin(); cand != open_batches_.end();) {
+    const std::vector<int>& set = cand->first;
+    // Strict subsets only; the equal set cannot appear (the caller found
+    // no open batch for it — that is why `super` is being created).
+    if (set.size() >= super->partitions.size() ||
+        !std::includes(super->partitions.begin(), super->partitions.end(),
+                       set.begin(), set.end())) {
+      ++cand;
+      continue;
+    }
+    Batch& sub = cand->second;
+    sim_.control()->Cancel(sub.timer);
+    ++batch_stats_.merged_rounds;
+    batch_stats_.merge_absorbed += static_cast<int64_t>(sub.members.size());
+    // Never delay an absorbed member past its original flush promise: the
+    // merged round flushes at the earliest deadline of everything in it.
+    super->deadline = std::min(super->deadline, sub.deadline);
+    for (BatchMember& member : sub.members) {
+      // The member's votes are aligned with its old round's (sub)set —
+      // its own set, or already padded once by a cross-set admission.
+      // Pad with kYes up to the superset width; its `touched` set (and so
+      // its conjunction and its Finish fan-out) is unchanged.
+      member.votes =
+          commit::AlignVotesToSuperset(set, member.votes, super->partitions);
+      super->members.push_back(std::move(member));
+    }
+    cand = open_batches_.erase(cand);
+  }
+}
+
 void Database::FlushBatch(Batch batch) {
   FC_CHECK(!batch.members.empty()) << "flush of an empty batch";
   ++batch_stats_.rounds;
@@ -388,12 +547,10 @@ void Database::FlushBatch(Batch batch) {
   // as it prepared at least one member. (A No at every participant only
   // happens when every member conflicted there, in which case no member
   // has an all-Yes conjunction and a round-level abort loses nothing.)
-  size_t width = batch.partitions.size();
-  std::vector<commit::Vote> round_votes(width, commit::Vote::kNo);
+  std::vector<commit::Vote> round_votes(batch.partitions.size(),
+                                        commit::Vote::kNo);
   for (const BatchMember& member : batch.members) {
-    for (size_t j = 0; j < width; ++j) {
-      round_votes[j] = commit::VoteOr(round_votes[j], member.votes[j]);
-    }
+    commit::DisjoinVotesInto(&round_votes, member.votes);
   }
 
   // The lead (first-enqueued) member's id places the round and keys its
@@ -492,6 +649,8 @@ const DatabaseStats& Database::Drain() {
   FC_CHECK(inflight_ == 0) << "transactions still pending after drain";
   FC_CHECK(open_batches_.empty())
       << "open batches after drain: a window flush event was lost";
+  FC_CHECK(inflight_key_hashes_.empty() && busy_key_counts_.empty())
+      << "conflict-lookahead tracker not empty after drain";
   stats_.makespan = sim_.Now();
   return stats_;
 }

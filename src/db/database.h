@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -19,6 +20,8 @@
 #include "sim/sharded_simulator.h"
 
 namespace fastcommit::db {
+
+class TrafficEngine;
 
 /// Bounded-memory latency accounting: exact streaming count/sum/min/max
 /// plus a fixed-size reservoir sample (algorithm R, dedicated deterministic
@@ -83,6 +86,13 @@ struct DatabaseStats {
   /// Network messages each multi-partition commit had sent by the instant
   /// it decided (protocol + consensus), summed over all commits.
   int64_t commit_messages = 0;
+  /// Open-loop arrivals presented by SubmitArrivals streams — admitted or
+  /// not. Zero for Submit-only runs. offered == committed + aborted + shed
+  /// after a drain of a pure open-loop run.
+  int64_t offered = 0;
+  /// Arrivals rejected at admission because Options::max_inflight
+  /// transactions were already in flight (load shedding at saturation).
+  int64_t shed = 0;
   LatencyStats latency;  ///< per multi-partition commit, ticks
   sim::Time makespan = 0;  ///< virtual time when the run drained
 
@@ -198,6 +208,36 @@ class Database {
     /// Raises round occupancy on skewed workloads where narrow hot sets
     /// arrive alongside wider ones.
     bool batch_cross_set = false;
+    /// Round merging, the dual of batch_cross_set: when a batch opens over
+    /// a partition set that *strictly contains* an already-open batch's
+    /// set, the open subset batch is absorbed into the new superset round
+    /// — its members' votes re-aligned with kYes padding, its window timer
+    /// cancelled, and the superset's flush deadline clamped to
+    /// min(its own, the absorbed batches') so no absorbed member waits
+    /// past its original flush promise. Cross-set admission only helps
+    /// subsets that arrive *after* the wide round opened; merging catches
+    /// the other arrival order.
+    bool batch_round_merge = false;
+    /// Admission control for open-loop streams (SubmitArrivals): with more
+    /// than this many transactions in flight, new arrivals are shed —
+    /// counted in DatabaseStats::shed and completed immediately with
+    /// kAbort — instead of joining an unbounded queue. 0 = admit
+    /// everything. Directly-Submitted transactions are never shed.
+    int64_t max_inflight = 0;
+    /// Conflict-aware barrier lookahead (partition-parallel path only):
+    /// the control plane tracks the FNV-1a key hashes of every in-flight
+    /// transaction (prepare enqueued, finish not yet enqueued). A new
+    /// transaction whose hashes are disjoint from all of them provably
+    /// receives kYes at every partition under no-wait locking, so its
+    /// prepares are enqueued as *predicted* tasks and its Execute skips
+    /// the flush barrier entirely — steady low-conflict arrivals ride
+    /// through with no barrier at all, and barriers that do happen drain
+    /// fatter task backlogs (better worker-pool amortization). Hash
+    /// collisions only ever force a conservative barrier, and the drain
+    /// FC_CHECKs every predicted vote, so results stay bitwise identical
+    /// to the barrier-per-transaction path (the placement fuzz harness
+    /// toggles this knob inside its identity gate).
+    bool conflict_lookahead = false;
     /// Partition-parallel execution (the default): partition data-path
     /// work — Prepare's lock acquisition, commit's write application,
     /// lock release — runs on the partition plane (db/partition_plane.h):
@@ -238,6 +278,10 @@ class Database {
     /// Members admitted into an open round of a strict superset partition
     /// set (Options::batch_cross_set).
     int64_t cross_set_joins = 0;
+    /// Open subset batches absorbed into a newly opened superset round
+    /// (Options::batch_round_merge), and the members carried over.
+    int64_t merged_rounds = 0;
+    int64_t merge_absorbed = 0;
 
     /// Mean members per round; 1.0 with batching off (every commit is its
     /// own round).
@@ -252,7 +296,9 @@ class Database {
              window_flushes == other.window_flushes &&
              size_flushes == other.size_flushes && members == other.members &&
              max_round_size == other.max_round_size &&
-             cross_set_joins == other.cross_set_joins;
+             cross_set_joins == other.cross_set_joins &&
+             merged_rounds == other.merged_rounds &&
+             merge_absorbed == other.merge_absorbed;
     }
     bool operator!=(const BatchStats& other) const {
       return !(*this == other);
@@ -283,6 +329,18 @@ class Database {
   /// decision (kCommit, or kAbort after max_attempts).
   void Submit(Transaction tx, sim::Time at_ticks,
               CompletionCallback on_complete = nullptr);
+
+  /// Streams an open-loop arrival process (db/traffic.h) into the
+  /// database: each arrival is pulled from `engine` only when its
+  /// predecessor's arrival event runs, so a multi-million-transaction run
+  /// never materializes a workload vector or floods the event queue.
+  /// Arrivals past Options::max_inflight in-flight transactions are shed
+  /// (DatabaseStats::shed) and complete immediately with kAbort; admitted
+  /// ones execute exactly like Submit-ed transactions. `engine` must
+  /// outlive the drain. Multiple streams may run concurrently (distinct
+  /// engines); transaction ids must not collide with other submissions.
+  void SubmitArrivals(TrafficEngine* engine,
+                      CompletionCallback on_complete = nullptr);
 
   /// Runs the simulation until every submitted transaction finished.
   const DatabaseStats& Drain();
@@ -318,6 +376,11 @@ class Database {
   /// on the inline path; outside DatabaseStats like the pool counters,
   /// since they describe execution machinery, not workload outcomes.
   const PartitionPlane& partition_plane() const { return plane_; }
+  /// Flush barriers skipped by conflict-aware lookahead
+  /// (Options::conflict_lookahead) — one per transaction whose disjointness
+  /// proof let its Execute proceed on predicted kYes votes. Execution
+  /// machinery, outside DatabaseStats.
+  int64_t lookahead_skips() const { return lookahead_skips_; }
   sim::Time Now() const { return sim_.Now(); }
 
  private:
@@ -352,6 +415,10 @@ class Database {
     std::vector<int> partitions;  ///< sorted touched set (the table key)
     std::vector<BatchMember> members;
     sim::EventId timer = sim::kNoEvent;  ///< cancellable window flush
+    /// The timer's flush instant. Round merging clamps a superset round's
+    /// deadline to the minimum over everything it absorbed, so merging
+    /// never delays a member past the flush its original batch promised.
+    sim::Time deadline = 0;
   };
 
   /// Adaptive window controller of one partition set (Options::
@@ -368,6 +435,14 @@ class Database {
   };
 
   void Execute(PendingTx pending);
+  /// Pulls the next arrival from `engine` and schedules its admission
+  /// event, which re-arms itself — the self-rescheduling pump behind
+  /// SubmitArrivals.
+  void ScheduleNextArrival(TrafficEngine* engine,
+                           std::shared_ptr<CompletionCallback> on_complete);
+  /// Admission control for one open-loop arrival: shed or execute.
+  void AdmitArrival(Transaction tx,
+                    const std::shared_ptr<CompletionCallback>& on_complete);
   /// Issues one transaction's per-partition Prepares and collects votes
   /// into `touched`/`votes` (sorted by partition): through the partition
   /// plane — enqueue, flush barrier, read — when partition-parallel
@@ -400,6 +475,11 @@ class Database {
   /// members.
   void EnqueueInBatch(PendingTx pending, std::vector<int> touched,
                       std::vector<commit::Vote> votes, sim::Time started);
+  /// Round merging (Options::batch_round_merge): folds every open batch
+  /// whose partition set is a strict subset of `super`'s into it — votes
+  /// re-aligned, timers cancelled, `super`'s deadline clamped down. Called
+  /// while `super` is being created, before its timer is armed.
+  void AbsorbSubsetBatches(Batch* super);
   /// Runs one commit round for a closed batch: disjunction round votes, a
   /// pooled instance on the lead member's shard, per-member decisions at
   /// the decide instant.
@@ -411,6 +491,17 @@ class Database {
                 const std::vector<int>& touched_partitions,
                 commit::Decision decision, sim::Time started,
                 sim::Time finished_at);
+  /// Conflict-aware lookahead is sound only where prepares run through
+  /// the plane's FIFO queues (the inline path has no barriers to skip).
+  bool LookaheadEnabled() const {
+    return options_.conflict_lookahead && options_.partition_parallel;
+  }
+  /// Drops `tx`'s key hashes from the lookahead tracker. Called when its
+  /// Finish is *enqueued* — sound because a finish enqueued at time F
+  /// drains before any prepare enqueued at u >= F on the same partition
+  /// queue. Idempotent per attempt (a doomed batch member's partitions
+  /// finish twice: early release at enqueue, then at the decide instant).
+  void ReleaseTrackedKeys(TxId tx);
 
   Options options_;
   sim::ShardedSimulator sim_;
@@ -433,6 +524,15 @@ class Database {
   std::map<std::vector<int>, SetController> controllers_;
   int64_t next_batch_id_ = 1;
   BatchStats batch_stats_;
+  /// Conflict-lookahead tracker (control plane only): reference counts of
+  /// the FNV-1a key hashes of every in-flight transaction — prepare
+  /// enqueued, finish not yet enqueued — and the per-transaction hash
+  /// lists that release them. Over-approximates the set of locked keys
+  /// (collisions included), so a disjointness hit is always a proof.
+  std::unordered_map<uint64_t, int64_t> busy_key_counts_;
+  std::unordered_map<TxId, std::vector<uint64_t>> inflight_key_hashes_;
+  std::vector<uint64_t> hash_scratch_;  ///< reused per-Execute key hashes
+  int64_t lookahead_skips_ = 0;
 };
 
 }  // namespace fastcommit::db

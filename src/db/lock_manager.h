@@ -1,6 +1,7 @@
 #ifndef FASTCOMMIT_DB_LOCK_MANAGER_H_
 #define FASTCOMMIT_DB_LOCK_MANAGER_H_
 
+#include <functional>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +32,13 @@ class LockManager {
   int64_t held_by(TxId tx) const;
   bool HoldsExclusive(const Key& key, TxId tx) const;
   bool HoldsShared(const Key& key, TxId tx) const;
+
+  /// Visits every (key, holder) pair once per holder, in unspecified
+  /// order. Debug/invariant use only (the conflict-lookahead tracker
+  /// cross-check in Database sweeps this at flush barriers); O(held
+  /// locks), allocation-free.
+  void ForEachHeldKey(
+      const std::function<void(const Key& key, TxId tx)>& fn) const;
 
   /// Debug invariant sweep, FC_CHECKs on violation:
   ///   - no key is both exclusive-owned and shared-owned (the

@@ -81,6 +81,16 @@ class PartitionPlane {
   void EnqueuePrepare(int partition, sim::Time at, TxId tx,
                       std::vector<Op> ops, commit::Vote* vote_out);
 
+  /// Queues a Prepare whose vote the control plane already *predicted* as
+  /// kYes (conflict-aware lookahead: the transaction's keys are provably
+  /// disjoint from every in-flight transaction's, so no lock acquisition
+  /// can fail). No vote slot is captured and no barrier is needed before
+  /// the caller proceeds; the drain FC_CHECKs the real vote against the
+  /// prediction, so a tracker bug dies loudly instead of committing a
+  /// conflicted transaction.
+  void EnqueuePredictedPrepare(int partition, sim::Time at, TxId tx,
+                               std::vector<Op> ops);
+
   /// Queues a Finish (apply staged writes on commit, release locks) of
   /// `tx` at `partition`. Deferred until the next barrier.
   void EnqueueFinish(int partition, sim::Time at, TxId tx,
@@ -104,11 +114,16 @@ class PartitionPlane {
   int64_t tasks_drained() const { return tasks_drained_; }
 
  private:
-  /// One queued unit of partition work; `vote_out` != nullptr means
-  /// Prepare (with `ops`), else Finish (with `decision`). The enqueue
-  /// instant is validated against the queue's last_enqueued_at and not
-  /// stored: FIFO drain preserves it.
+  /// One queued unit of partition work. The enqueue instant is validated
+  /// against the queue's last_enqueued_at and not stored: FIFO drain
+  /// preserves it.
+  enum class TaskKind : uint8_t {
+    kPrepare,           ///< run Prepare, write the vote to `vote_out`
+    kPredictedPrepare,  ///< run Prepare, FC_CHECK the vote is kYes
+    kFinish,            ///< run Finish with `decision`
+  };
   struct Task {
+    TaskKind kind = TaskKind::kFinish;
     TxId tx = 0;
     commit::Decision decision = commit::Decision::kNone;
     commit::Vote* vote_out = nullptr;

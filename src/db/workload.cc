@@ -8,6 +8,16 @@ namespace fastcommit::db {
 Key AccountKey(int account) { return "acct:" + std::to_string(account); }
 Key ItemKey(int item) { return "item:" + std::to_string(item); }
 
+void AppendTransferOps(Transaction* tx, Key from, Key to, int64_t amount) {
+  tx->ops.push_back(Transaction::Add(std::move(from), -amount));
+  tx->ops.push_back(Transaction::Add(std::move(to), amount));
+}
+
+void AppendReadModifyWriteOps(Transaction* tx, Key key) {
+  tx->ops.push_back(Transaction::Get(key));
+  tx->ops.push_back(Transaction::Add(std::move(key), 1));
+}
+
 std::vector<Transaction> MakeTransferWorkload(int num_txs, int num_accounts,
                                               int64_t max_amount,
                                               uint64_t seed) {
@@ -22,8 +32,7 @@ std::vector<Transaction> MakeTransferWorkload(int num_txs, int num_accounts,
     int64_t amount = rng.UniformInt(1, max_amount);
     Transaction tx;
     tx.id = i + 1;
-    tx.ops.push_back(Transaction::Add(AccountKey(from), -amount));
-    tx.ops.push_back(Transaction::Add(AccountKey(to), amount));
+    AppendTransferOps(&tx, AccountKey(from), AccountKey(to), amount);
     txs.push_back(std::move(tx));
   }
   return txs;
@@ -44,8 +53,7 @@ std::vector<Transaction> MakeReadModifyWriteWorkload(int num_txs, int num_keys,
       // A real read-modify-write: the read takes a shared lock that the
       // write then upgrades, exercising the shared->exclusive path (and,
       // across transactions, multi-shared upgrade denial).
-      tx.ops.push_back(Transaction::Get(ItemKey(item)));
-      tx.ops.push_back(Transaction::Add(ItemKey(item), 1));
+      AppendReadModifyWriteOps(&tx, ItemKey(item));
     }
     txs.push_back(std::move(tx));
   }

@@ -13,6 +13,17 @@ namespace fastcommit::db {
 Key AccountKey(int account);
 Key ItemKey(int item);
 
+/// Op-pattern builders shared by the closed-loop generators below and the
+/// open-loop traffic engine (db/traffic.h), so both emit byte-identical
+/// transactions for the same key choices.
+///
+/// A money transfer: Add(-amount) at `from`, Add(+amount) at `to` —
+/// conserves the total balance, the invariant the bank example checks.
+void AppendTransferOps(Transaction* tx, Key from, Key to, int64_t amount);
+/// A real read-modify-write on one key: Get then Add(+1), so the shared
+/// lock and the shared->exclusive upgrade path are both exercised.
+void AppendReadModifyWriteOps(Transaction* tx, Key key);
+
 /// Money movement between random account pairs: each transaction reads and
 /// adjusts two accounts (Add -x / Add +x), conserving the total balance —
 /// the invariant the bank example checks after the run.

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "sim/detmath.h"
+
 namespace fastcommit::sim {
 
 /// Deterministic 64-bit RNG (splitmix64). Every randomized component of an
@@ -33,11 +35,76 @@ class Rng {
   /// Bernoulli trial with probability `p`.
   bool Chance(double p) { return UniformDouble() < p; }
 
+  /// Exponential variate with the given mean (> 0) by inverse CDF:
+  /// -mean * ln(1 - U). Uses detmath::Log, so the sequence for a seed is
+  /// bitwise identical on every platform — the property the open-loop
+  /// arrival streams (db/traffic.h) gate with golden-sequence tests.
+  double Exponential(double mean) {
+    // 1 - U is in (0, 1]: Log's domain, and Exponential(m) >= 0 exactly.
+    return -mean * detmath::Log(1.0 - UniformDouble());
+  }
+
   /// Forks an independent stream (e.g., one per process) deterministically.
   Rng Fork() { return Rng(Next()); }
 
  private:
   uint64_t state_;
+};
+
+/// Zipf-like sampler over {0, ..., num_items - 1} by inverse CDF of the
+/// continuous bounded Pareto density p(x) ∝ x^-exponent on [1, n + 1) —
+/// the standard O(1) continuous approximation of the discrete Zipf
+/// distribution (rank 1 is the most popular item). exponent 0 degenerates
+/// to uniform; exponent near 1 uses the log-uniform limit. All math goes
+/// through detmath, so sequences are platform-invariant like the Rng's.
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t num_items, double exponent)
+      : num_items_(num_items), exponent_(exponent) {
+    FC_CHECK(num_items >= 1) << "ZipfSampler needs at least one item";
+    FC_CHECK(exponent >= 0.0) << "negative Zipf exponent";
+    double n1 = static_cast<double>(num_items) + 1.0;
+    if (Uniform()) {
+      scale_ = 0.0;
+    } else if (LogUniform()) {
+      scale_ = detmath::Log(n1);  // CDF^-1(u) = e^(u * ln(n+1))
+    } else {
+      scale_ = detmath::Pow(n1, 1.0 - exponent) - 1.0;
+    }
+  }
+
+  int64_t num_items() const { return num_items_; }
+  double exponent() const { return exponent_; }
+
+  /// Draws one 0-based item index; 0 is the most popular rank.
+  int64_t Sample(Rng& rng) const {
+    double u = rng.UniformDouble();
+    double x;  // continuous rank in [1, n + 1)
+    if (Uniform()) {
+      x = 1.0 + u * static_cast<double>(num_items_);
+    } else if (LogUniform()) {
+      x = detmath::Exp(u * scale_);
+    } else {
+      x = detmath::Pow(1.0 + u * scale_, 1.0 / (1.0 - exponent_));
+    }
+    int64_t rank = static_cast<int64_t>(x);  // floor: x >= 1
+    if (rank < 1) rank = 1;
+    if (rank > num_items_) rank = num_items_;  // guard the open-bound edge
+    return rank - 1;
+  }
+
+ private:
+  bool Uniform() const { return exponent_ == 0.0; }
+  /// Within ~1e-9 of 1 the (1-s) exponents lose all precision; the exact
+  /// s = 1 inverse CDF takes over.
+  bool LogUniform() const {
+    double d = exponent_ - 1.0;
+    return d > -1e-9 && d < 1e-9;
+  }
+
+  int64_t num_items_;
+  double exponent_;
+  double scale_;
 };
 
 }  // namespace fastcommit::sim

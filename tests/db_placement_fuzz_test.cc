@@ -1,11 +1,13 @@
 // Randomized placement-determinism harness: for ~50 random database
-// configurations (protocol × workload × batching knobs), the same seed must
-// produce bitwise-identical DatabaseStats AND BatchStats for every
-// *placement* — shard count, thread count, and partition-parallel
-// execution on/off. Placement knobs decide where work runs, never what it
-// computes; this harness fuzzes the whole knob space instead of the
-// hand-picked grids of db_shard_test / db_batch_test / db_adaptive_batch
-// tests.
+// configurations (protocol × workload × batching knobs × closed- or
+// open-loop submission), the same seed must produce bitwise-identical
+// DatabaseStats AND BatchStats for every *placement* — shard count, thread
+// count, partition-parallel execution on/off, and conflict-aware lookahead
+// on/off (lookahead only moves barriers, never results, so it is a
+// placement knob by construction and belongs inside the identity gate).
+// Placement knobs decide where work runs, never what it computes; this
+// harness fuzzes the whole knob space instead of the hand-picked grids of
+// db_shard_test / db_batch_test / db_adaptive_batch tests.
 //
 // Reproducing a failure: every EXPECT carries the drawn base seed and the
 // per-config seed via SCOPED_TRACE, and the base seed can be pinned with
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "db/traffic.h"
 #include "db/workload.h"
 #include "sim/rng.h"
 
@@ -39,6 +42,15 @@ struct FuzzConfig {
   bool batch_adaptive = false;
   sim::Time batch_window_max = 0;
   bool batch_cross_set = false;
+  bool batch_round_merge = false;
+  /// Open-loop submission (db/traffic.h) instead of a pre-built vector:
+  /// `workload` is ignored and a streamed arrival process feeds the run.
+  bool open_loop = false;
+  ArrivalProcess process = ArrivalProcess::kPoisson;
+  double mean_gap = 60.0;
+  double zipf_exponent = 0.0;
+  int64_t drift_period = 0;
+  int64_t max_inflight = 0;
   uint64_t seed = 1;
 
   std::string Describe() const {
@@ -49,7 +61,14 @@ struct FuzzConfig {
         << " attempts=" << max_attempts << " window=" << batch_window
         << " batch_max=" << batch_max << " adaptive=" << batch_adaptive
         << " window_max=" << batch_window_max
-        << " cross_set=" << batch_cross_set << " seed=" << seed;
+        << " cross_set=" << batch_cross_set
+        << " round_merge=" << batch_round_merge;
+    if (open_loop) {
+      out << " open_loop=" << ToString(process) << " mean_gap=" << mean_gap
+          << " zipf=" << zipf_exponent << " drift=" << drift_period
+          << " max_inflight=" << max_inflight;
+    }
+    out << " seed=" << seed;
     return out.str();
   }
 };
@@ -58,11 +77,15 @@ struct Placement {
   int num_shards = 1;
   int num_threads = 1;
   bool partition_parallel = false;
+  /// Stats-invariant by construction (Options::conflict_lookahead): only
+  /// barrier placement changes, so it rides inside the identity gate.
+  bool conflict_lookahead = false;
 
   std::string Describe() const {
     std::ostringstream out;
     out << "shards=" << num_shards << " threads=" << num_threads
-        << " partition_parallel=" << partition_parallel;
+        << " partition_parallel=" << partition_parallel
+        << " lookahead=" << conflict_lookahead;
     return out.str();
   }
 };
@@ -97,8 +120,39 @@ FuzzConfig DrawConfig(sim::Rng& rng) {
   }
   config.batch_max = static_cast<int>(rng.UniformInt(2, 17));
   config.batch_cross_set = rng.Chance(0.5);
+  config.batch_round_merge = rng.Chance(0.5);
+  // ~2/5 of configs stream an open-loop arrival process instead of
+  // submitting a pre-built vector (process × rate × skew drift, with
+  // admission control in the mix).
+  config.open_loop = rng.Chance(0.4);
+  if (config.open_loop) {
+    const ArrivalProcess kProcesses[] = {ArrivalProcess::kPoisson,
+                                         ArrivalProcess::kBursty,
+                                         ArrivalProcess::kDiurnal};
+    config.process = kProcesses[rng.Next() % 3];
+    const double kGapChoices[] = {10.0, 45.0, 120.0};
+    config.mean_gap = kGapChoices[rng.Next() % 3];
+    const double kZipfChoices[] = {0.0, 0.9, 1.2};
+    config.zipf_exponent = kZipfChoices[rng.Next() % 3];
+    config.drift_period = rng.Chance(0.5) ? 25 : 0;
+    config.max_inflight = rng.Chance(0.3) ? 6 : 0;
+  }
   config.seed = rng.Next();
   return config;
+}
+
+TrafficOptions MakeTraffic(const FuzzConfig& config) {
+  TrafficOptions traffic;
+  traffic.process = config.process;
+  traffic.mean_gap = config.mean_gap;
+  traffic.num_arrivals = config.num_txs;
+  traffic.num_keys = 64;  // small space: real conflicts and retries
+  traffic.zipf_exponent = config.zipf_exponent;
+  traffic.drift_period = config.drift_period;
+  traffic.burst_size = 8;
+  traffic.diurnal_period = 4000;
+  traffic.seed = config.seed;
+  return traffic;
 }
 
 std::vector<Transaction> MakeWorkload(const FuzzConfig& config) {
@@ -132,21 +186,31 @@ RunResult RunOne(const FuzzConfig& config, const Placement& placement) {
   options.batch_adaptive = config.batch_adaptive;
   options.batch_window_max = config.batch_window_max;
   options.batch_cross_set = config.batch_cross_set;
+  options.batch_round_merge = config.batch_round_merge;
+  options.max_inflight = config.max_inflight;
   options.num_shards = placement.num_shards;
   options.num_threads = placement.num_threads;
   options.partition_parallel = placement.partition_parallel;
+  options.conflict_lookahead = placement.conflict_lookahead;
   // Cheap extra teeth: every flush barrier sweeps the per-partition lock
-  // invariants (only observed on the partition-parallel path).
+  // invariants (only observed on the partition-parallel path) and, with
+  // lookahead on, the tracker-vs-held-locks soundness cross-check.
   options.check_invariants = true;
   Database database(options);
-  auto txs = MakeWorkload(config);
-  sim::Time at = 0;
-  for (auto& tx : txs) {
-    database.Submit(std::move(tx), at);
-    at += config.arrival_gap;
-  }
   RunResult result;
-  result.stats = database.Drain();
+  if (config.open_loop) {
+    TrafficEngine engine(MakeTraffic(config));
+    database.SubmitArrivals(&engine);
+    result.stats = database.Drain();
+  } else {
+    auto txs = MakeWorkload(config);
+    sim::Time at = 0;
+    for (auto& tx : txs) {
+      database.Submit(std::move(tx), at);
+      at += config.arrival_gap;
+    }
+    result.stats = database.Drain();
+  }
   result.batch = database.batch_stats();
   return result;
 }
@@ -169,16 +233,18 @@ TEST(PlacementFuzzTest, StatsIdenticalAcrossRandomPlacements) {
     FuzzConfig config = DrawConfig(rng);
     SCOPED_TRACE("config " + std::to_string(i) + ": " + config.Describe());
     // Reference placement: single queue, single thread, inline partition
-    // execution — the fully serial interpreter of the configuration.
-    RunResult reference = RunOne(config, Placement{1, 1, false});
-    ASSERT_EQ(reference.stats.committed + reference.stats.aborted,
+    // execution, no lookahead — the fully serial interpreter of the
+    // configuration.
+    RunResult reference = RunOne(config, Placement{1, 1, false, false});
+    ASSERT_EQ(reference.stats.committed + reference.stats.aborted +
+                  reference.stats.shed,
               config.num_txs)
         << "reference run lost transactions";
 
     // Always cover the acceptance grid's extremes, then random fill.
     std::vector<Placement> placements = {
-        Placement{1, 1, true},
-        Placement{8, 4, true},
+        Placement{1, 1, true, false},
+        Placement{8, 4, true, true},
     };
     for (int extra = 0; extra < 2; ++extra) {
       Placement p;
@@ -186,6 +252,7 @@ TEST(PlacementFuzzTest, StatsIdenticalAcrossRandomPlacements) {
       p.num_shards = kShardChoices[rng.Next() % 4];
       p.num_threads = static_cast<int>(rng.UniformInt(1, 4));
       p.partition_parallel = rng.Chance(0.75);
+      p.conflict_lookahead = rng.Chance(0.5);
       placements.push_back(p);
     }
     for (const Placement& placement : placements) {

@@ -2,7 +2,8 @@
 """Gate bench JSON output against the checked-in baseline.
 
 The db benches (`bench_db_throughput`, `bench_db_sharded`,
-`bench_db_batching`) emit machine-readable results via `--json <path>`.
+`bench_db_batching`, `bench_db_openloop`) emit machine-readable results
+via `--json <path>`.
 This script compares one or more of those documents against
 `BENCH_baseline.json` and fails (exit 1) when a *simulated* metric
 regresses by more than the tolerance — simulated metrics are
@@ -11,7 +12,8 @@ exactly across machines. Wall-clock metrics vary with hardware and are
 report-only.
 
 Gated (lower is better): msgs_per_commit, mean_latency_ticks,
-p99_latency_ticks. Gated (higher is better): occupancy. A row key
+p99_latency_ticks, makespan_ticks, barrier_flushes. Gated (higher is
+better): occupancy, commits_per_tick, achieved_over_offered. A row key
 present in the baseline but missing from the current run also fails —
 silently dropping a measured configuration is a coverage regression.
 
@@ -30,9 +32,10 @@ import sys
 
 TOLERANCE = 0.05  # >5% regression fails
 LOWER_IS_BETTER = ("msgs_per_commit", "mean_latency_ticks",
-                   "p99_latency_ticks", "makespan_ticks")
-HIGHER_IS_BETTER = ("occupancy",)
-REPORT_ONLY = ("wall_seconds", "txs_per_second", "speedup_vs_single_queue")
+                   "p99_latency_ticks", "makespan_ticks", "barrier_flushes")
+HIGHER_IS_BETTER = ("occupancy", "commits_per_tick", "achieved_over_offered")
+REPORT_ONLY = ("wall_seconds", "txs_per_second", "speedup_vs_single_queue",
+               "committed_per_sec_wall")
 
 
 def validate_doc(doc, source):

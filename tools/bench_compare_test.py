@@ -105,6 +105,35 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("occupancy", err)
 
+    def test_commits_per_tick_regression_fails(self):
+        rows = [{"key": "inbac/openloop", "commits_per_tick": 0.025,
+                 "barrier_flushes": 1000}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], commits_per_tick=0.020)])  # -20%
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("commits_per_tick", err)
+
+    def test_barrier_flushes_regression_fails(self):
+        rows = [{"key": "inbac/openloop", "commits_per_tick": 0.025,
+                 "barrier_flushes": 1000}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], barrier_flushes=1200)])  # +20%
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("barrier_flushes", err)
+
+    def test_committed_per_sec_wall_is_report_only(self):
+        rows = [{"key": "inbac/openloop", "committed_per_sec_wall": 50000.0}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], committed_per_sec_wall=100.0)])
+        cur = self.write("cur.json", doc)
+        code, out, _ = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("report-only", out)
+
     def test_wall_clock_is_report_only(self):
         base = self.write_baseline("base.json", [make_doc()])
         doc = make_doc()

@@ -33,6 +33,13 @@ python3 tools/bench_compare_test.py
 # (CI reruns it, plus the other bench gates, at 20k transactions.)
 ./build/bench_db_batching --txs 4000
 
+# Open-loop determinism + saturation gate at reduced scale:
+# bench_db_openloop exits nonzero if any arrival stream's stats diverge
+# across placements, an uncapped Poisson stream falls under 95% of
+# offered load, the saturated row stops shedding, or conflict lookahead
+# drifts a simulated metric / stops skipping barriers.
+./build/bench_db_openloop --txs 4000
+
 if [[ "${1:-}" == "--asan" ]]; then
   run_suite build-asan -DFASTCOMMIT_SANITIZE=address
 fi
