@@ -97,6 +97,90 @@ void PrintResult(const char* mode, const Result& r) {
       static_cast<long long>(r.pool.reused));
 }
 
+// ------------------------------------------------------------- ablation --
+//
+// 2PL vs OCC on read-mostly skewed traffic (db::MakeReadMostlyWorkload),
+// swept over the read share and the true-conflict level. Every run uses
+// max_attempts = 1, so commits_per_tick differences are pure goodput —
+// the fraction of attempts each concurrency control admits — not retry
+// scheduling. The "low" conflict rows use single-key point-writers whose
+// lock window is one drain instant: logically conflict-free traffic where
+// every 2PL abort is reader/writer false sharing that OCC's invisible
+// readers never pay. The "high" rows use 3-key writers whose locks span
+// the commit protocol, so real write conflicts hit both modes.
+
+struct AblationSpec {
+  const char* key;          ///< row-key fragment, e.g. "read80/low"
+  double read_tx_fraction;  ///< pure-reader share of transactions
+  int writes_per_tx;        ///< 1 = point writes (low), 3 = spanning (high)
+};
+
+constexpr AblationSpec kAblationGrid[] = {
+    {"read50/low", 0.50, 1},  {"read50/high", 0.50, 3},
+    {"read65/low", 0.65, 1},  {"read65/high", 0.65, 3},
+    {"read80/low", 0.80, 1},  {"read80/high", 0.80, 3},
+};
+// The CI-gated row: op-level read fraction >= 0.8, point-writers (low true
+// conflict). OCC must clear kOccSpeedupGate here or the bench exits
+// nonzero.
+constexpr const char* kGatedAblationKey = "read50/low";
+constexpr double kOccSpeedupGate = 1.3;
+
+std::vector<db::Transaction> MakeAblationWorkload(const AblationSpec& spec,
+                                                  int num_txs) {
+  return db::MakeReadMostlyWorkload(
+      num_txs, /*num_keys=*/2000, /*hot_keys=*/16, /*reads_per_tx=*/4,
+      spec.writes_per_tx, spec.read_tx_fraction, /*hot_probability=*/0.9,
+      /*seed=*/42);
+}
+
+/// Op-level read share of the generated workload (reported per row; the
+/// gated row's must be >= 0.8).
+double OpReadFraction(const std::vector<db::Transaction>& txs) {
+  int64_t reads = 0;
+  int64_t ops = 0;
+  for (const db::Transaction& tx : txs) {
+    ops += static_cast<int64_t>(tx.ops.size());
+    for (const db::Op& op : tx.ops) {
+      reads += op.type == db::Op::Type::kGet ? 1 : 0;
+    }
+  }
+  return ops == 0 ? 0.0
+                  : static_cast<double>(reads) / static_cast<double>(ops);
+}
+
+Result RunAblation(const std::vector<db::Transaction>& txs,
+                   db::ConcurrencyMode mode, int num_shards = 1,
+                   int num_threads = 1, bool partition_parallel = true,
+                   bool conflict_lookahead = false) {
+  db::Database::Options options;
+  options.num_partitions = 8;
+  options.protocol = core::ProtocolKind::kInbac;
+  options.concurrency = mode;
+  options.max_attempts = 1;  // no retries: committed counts are goodput
+  options.num_shards = num_shards;
+  options.num_threads = num_threads;
+  options.partition_parallel = partition_parallel;
+  options.conflict_lookahead = conflict_lookahead;
+  db::Database database(options);
+
+  auto start = Clock::now();
+  sim::Time at = 0;
+  for (const db::Transaction& tx : txs) {
+    database.Submit(tx, at);
+    at += 20;  // tighter than the pooled section: keep several readers'
+               // protocol spans overlapping every hot key's lock window
+  }
+  Result result;
+  result.stats = database.Drain();
+  result.wall_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  result.txs_per_second =
+      static_cast<double>(result.stats.committed) / result.wall_seconds;
+  result.pool = database.pool_stats();
+  return result;
+}
+
 }  // namespace
 }  // namespace fastcommit::bench
 
@@ -107,6 +191,7 @@ int main(int argc, char** argv) {
   int num_txs = 100000;
   bool run_pooled = true;
   bool run_baseline = true;
+  bool ablation_only = false;
   std::string json_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--txs") == 0 && i + 1 < argc) {
@@ -115,13 +200,15 @@ int main(int argc, char** argv) {
       run_pooled = false;
     } else if (std::strcmp(argv[i], "--pool-only") == 0) {
       run_baseline = false;
+    } else if (std::strcmp(argv[i], "--ablation-only") == 0) {
+      ablation_only = true;
     } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
     } else {
-      std::fprintf(
-          stderr,
-          "usage: %s [--txs N] [--no-pool | --pool-only] [--json PATH]\n",
-          argv[0]);
+      std::fprintf(stderr,
+                   "usage: %s [--txs N] [--no-pool | --pool-only] "
+                   "[--ablation-only] [--json PATH]\n",
+                   argv[0]);
       return 1;
     }
   }
@@ -144,6 +231,7 @@ int main(int argc, char** argv) {
   bool diverged = false;
 
   for (const WorkloadSpec& workload : kWorkloads) {
+    if (ablation_only) break;
     for (core::ProtocolKind protocol : kProtocols) {
       std::printf("\n%s / %s\n", core::ProtocolName(protocol), workload.name);
       PrintRule();
@@ -200,9 +288,78 @@ int main(int argc, char** argv) {
       }
     }
   }
+  PrintHeader("2PL vs OCC ablation: read-mostly skewed traffic, goodput");
+  std::printf(
+      "inbac, 8 partitions, max_attempts = 1; low = point-writers (true "
+      "conflicts ~0), high = 3-key spanning writers\n\n");
+  std::printf("  %-12s %5s  %10s %10s %8s  %6s %6s\n", "row", "readf",
+              "2pl_commit", "occ_commit", "occ/2pl", "2pl_ab", "occ_ab");
+  PrintRule();
+  bool gate_failed = false;
+  for (const AblationSpec& spec : kAblationGrid) {
+    auto txs = MakeAblationWorkload(spec, num_txs);
+    double read_fraction = OpReadFraction(txs);
+    Result two_pl = RunAblation(txs, db::ConcurrencyMode::k2PL);
+    Result occ = RunAblation(txs, db::ConcurrencyMode::kOCC);
+    double speedup =
+        CommitsPerTick(occ.stats.committed, occ.stats.makespan) /
+        CommitsPerTick(two_pl.stats.committed, two_pl.stats.makespan);
+    std::printf("  %-12s %5.2f  %10lld %10lld %7.2fx  %6lld %6lld\n",
+                spec.key, read_fraction,
+                static_cast<long long>(two_pl.stats.committed),
+                static_cast<long long>(occ.stats.committed), speedup,
+                static_cast<long long>(two_pl.stats.abort_lock_conflicts),
+                static_cast<long long>(occ.stats.abort_validation_failures));
+
+    auto& row_2pl =
+        report.AddRow(std::string("ablation/") + spec.key + "/2pl")
+            .Set("committed", two_pl.stats.committed)
+            .Set("read_fraction", read_fraction)
+            .Set("commits_per_tick", CommitsPerTick(two_pl.stats.committed,
+                                                    two_pl.stats.makespan))
+            .Set("wall_seconds", two_pl.wall_seconds);
+    SetAbortColumns(row_2pl, two_pl.stats.abort_lock_conflicts,
+                    two_pl.stats.abort_validation_failures,
+                    two_pl.stats.shed);
+    auto& row_occ =
+        report.AddRow(std::string("ablation/") + spec.key + "/occ")
+            .Set("committed", occ.stats.committed)
+            .Set("read_fraction", read_fraction)
+            .Set("commits_per_tick",
+                 CommitsPerTick(occ.stats.committed, occ.stats.makespan))
+            .Set("occ_speedup_vs_2pl", speedup)
+            .Set("wall_seconds", occ.wall_seconds);
+    SetAbortColumns(row_occ, occ.stats.abort_lock_conflicts,
+                    occ.stats.abort_validation_failures, occ.stats.shed);
+
+    if (std::strcmp(spec.key, kGatedAblationKey) == 0) {
+      // The acceptance gate: on read-heavy, truly-low-conflict traffic OCC
+      // must buy back the 2PL false-sharing aborts as real goodput.
+      if (speedup < kOccSpeedupGate) {
+        gate_failed = true;
+        std::printf("  -> GATE FAILED: occ speedup %.2fx < %.2fx on %s\n",
+                    speedup, kOccSpeedupGate, spec.key);
+      }
+      // Placement-determinism gate for the OCC path: the same seed must
+      // produce bitwise-identical stats on a spread placement (8 shards,
+      // 2 threads, conflict lookahead on) as on the single-shard
+      // single-thread reference above.
+      Result occ_spread =
+          RunAblation(txs, db::ConcurrencyMode::kOCC, /*num_shards=*/8,
+                      /*num_threads=*/2, /*partition_parallel=*/true,
+                      /*conflict_lookahead=*/true);
+      if (occ_spread.stats != occ.stats) {
+        diverged = true;
+        std::printf("  -> OCC placement determinism DIVERGED on %s\n",
+                    spec.key);
+      }
+    }
+  }
+
   bool json_failed = false;
   if (!json_path.empty()) json_failed = !report.WriteTo(json_path);
   // Nonzero on divergence so CI runs of this bench double as the
-  // pooled-vs-baseline determinism regression gate.
-  return diverged || json_failed ? 2 : 0;
+  // pooled-vs-baseline determinism regression gate (and the OCC speedup /
+  // placement gates above).
+  return diverged || json_failed || gate_failed ? 2 : 0;
 }

@@ -68,6 +68,19 @@ inline double CommittedPerSecWall(int64_t committed, double wall_seconds) {
              : static_cast<double>(committed) / wall_seconds;
 }
 
+/// Abort-reason breakdown columns shared by every db bench row that
+/// reports DatabaseStats: lock-conflict vs validation-failure attempts
+/// (exactly one side is nonzero per run — the concurrency mode picks the
+/// bucket) plus admission sheds. Simulated metrics, deterministic per
+/// seed.
+template <typename Row>
+inline void SetAbortColumns(Row& row, int64_t abort_lock_conflicts,
+                            int64_t abort_validation_failures, int64_t shed) {
+  row.Set("abort_lock_conflicts", abort_lock_conflicts)
+      .Set("abort_validation_failures", abort_validation_failures)
+      .Set("shed", shed);
+}
+
 /// Machine-readable bench output (the `--json <path>` flag of the db
 /// benches): one JSON document per bench run, one row per measured
 /// configuration, keyed so `tools/bench_compare.py` can diff runs against

@@ -63,6 +63,8 @@ bool DatabaseStats::operator==(const DatabaseStats& other) const {
   return committed == other.committed && aborted == other.aborted &&
          retries == other.retries &&
          single_partition == other.single_partition &&
+         abort_lock_conflicts == other.abort_lock_conflicts &&
+         abort_validation_failures == other.abort_validation_failures &&
          commit_messages == other.commit_messages &&
          offered == other.offered && shed == other.shed &&
          latency == other.latency && makespan == other.makespan;
@@ -88,7 +90,7 @@ Database::Database(const Options& options)
     : options_(options),
       sim_(SimOptions(options)),
       rng_(options.seed),
-      plane_(options.num_partitions, sim_.num_shards()),
+      plane_(options.num_partitions, sim_.num_shards(), options.concurrency),
       pool_(options.protocol, options.consensus, options.protocol_options,
             options.unit, options.pool_instances) {
   // num_partitions >= 1 is checked by the plane's constructor.
@@ -137,14 +139,24 @@ void Database::FlushPartitionWork() {
     // tracker must over-approximate. A held key missing from the tracker
     // could hand a later conflicting transaction a false disjointness
     // proof, and a predicted-kNo crash far from the cause.
+    auto check_tracked = [this](const Key& key, TxId tx) {
+      auto it = busy_key_counts_.find(HashKey(key));
+      FC_CHECK(it != busy_key_counts_.end() && it->second > 0)
+          << "conflict-lookahead tracker lost key '" << key
+          << "' still locked by tx " << tx;
+    };
     for (int p = 0; p < plane_.num_partitions(); ++p) {
-      plane_.partition(p).locks().ForEachHeldKey(
-          [this](const Key& key, TxId tx) {
-            auto it = busy_key_counts_.find(HashKey(key));
-            FC_CHECK(it != busy_key_counts_.end() && it->second > 0)
-                << "conflict-lookahead tracker lost key '" << key
-                << "' still locked by tx " << tx;
-          });
+      if (options_.concurrency == ConcurrencyMode::kOCC) {
+        // Under OCC the lock manager is idle; the held footprint to sweep
+        // is the version table's locked words (write locks held between a
+        // validated prepare and its finish).
+        plane_.partition(p).versions().ForEachLocked(
+            [&check_tracked](const Key& key, TxId tx, uint64_t) {
+              check_tracked(key, tx);
+            });
+      } else {
+        plane_.partition(p).locks().ForEachHeldKey(check_tracked);
+      }
     }
   }
 }
@@ -622,7 +634,16 @@ void Database::FinishTx(const PendingTx& pending,
     --inflight_;
     return;
   }
-  // Abort: retry with linear backoff, or give up.
+  // Abort: bucket the attempt by the concurrency control that refused it
+  // (shed arrivals never reach FinishTx, so they stay out of both), then
+  // retry with linear backoff or give up. Counted here — a canonical-order
+  // control-plane site — so the breakdown is placement invariant like
+  // every other stat.
+  if (options_.concurrency == ConcurrencyMode::kOCC) {
+    ++stats_.abort_validation_failures;
+  } else {
+    ++stats_.abort_lock_conflicts;
+  }
   if (pending.attempt >= options_.max_attempts) {
     ++stats_.aborted;
     if (pending.on_complete) pending.on_complete(pending.tx, decision);

@@ -83,6 +83,14 @@ struct DatabaseStats {
   int64_t aborted = 0;           ///< gave up after max_attempts
   int64_t retries = 0;           ///< abort-and-retry rounds
   int64_t single_partition = 0;  ///< committed locally, no protocol
+  /// Abort-reason breakdown over every aborted *attempt* (retry rounds and
+  /// final aborts alike), bucketed by the concurrency mode that refused it:
+  /// no-wait lock conflicts under ConcurrencyMode::k2PL, validation
+  /// failures under ConcurrencyMode::kOCC. Invariant after a drain:
+  ///   abort_lock_conflicts + abort_validation_failures == retries + aborted
+  /// (shed arrivals are admission rejections, counted in `shed` only).
+  int64_t abort_lock_conflicts = 0;
+  int64_t abort_validation_failures = 0;
   /// Network messages each multi-partition commit had sent by the instant
   /// it decided (protocol + consensus), summed over all commits.
   int64_t commit_messages = 0;
@@ -154,6 +162,19 @@ class Database {
     core::ConsensusKind consensus = core::ConsensusKind::kPaxos;
     core::ProtocolOptions protocol_options;  ///< shared with core::RunConfig
     sim::Time unit = 100;        ///< ticks per message delay U
+    /// Execution-layer concurrency control (see db/transaction.h). k2PL,
+    /// the default, is the original no-wait shared/exclusive locking and
+    /// leaves DatabaseStats bitwise unchanged for every existing
+    /// configuration. kOCC replaces hot-path locking with version-lock
+    /// validation (db/version_table.h): execution reads are lock-free
+    /// versioned reads, prepare runs lock-writes -> validate-reads, commit
+    /// publishes the new versions — and the validation outcome *is* the
+    /// participant's vote, so every commit protocol, batching mode, round
+    /// merge, and lookahead path runs unchanged on top. Read-mostly
+    /// workloads keep readers invisible to each other and to writers
+    /// (bench_db_throughput --ablation-only quantifies the win); its stats
+    /// are bitwise identical across shard/thread placements, like k2PL's.
+    ConcurrencyMode concurrency = ConcurrencyMode::k2PL;
     int max_attempts = 5;
     int64_t retry_backoff_units = 4;  ///< backoff = attempt * this * U
     uint64_t seed = 1;

@@ -25,6 +25,19 @@ void KvStore::Put(const Key& key, Value value) {
 
 bool KvStore::Erase(const Key& key) { return map_.erase(key) > 0; }
 
+void KvStore::Apply(const Op& op) {
+  switch (op.type) {
+    case Op::Type::kGet:
+      break;
+    case Op::Type::kPut:
+      Put(op.key, op.value);
+      break;
+    case Op::Type::kAdd:
+      AddInt(op.key, op.delta);
+      break;
+  }
+}
+
 int64_t KvStore::AddInt(const Key& key, int64_t delta) {
   int64_t current = GetInt(key);
   int64_t next = current + delta;

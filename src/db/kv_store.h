@@ -20,6 +20,12 @@ class KvStore {
   void Put(const Key& key, Value value);
   bool Erase(const Key& key);
 
+  /// Applies one transaction op: kPut stores, kAdd adjusts, kGet is a
+  /// no-op (reads mutate nothing). The single write-application site both
+  /// concurrency modes' Finish paths share, so commit semantics cannot
+  /// drift between them.
+  void Apply(const Op& op);
+
   /// Interprets the stored value (or 0 if absent) as an int64, adds `delta`
   /// and stores the result. Returns the new value.
   int64_t AddInt(const Key& key, int64_t delta);

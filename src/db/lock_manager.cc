@@ -11,7 +11,12 @@ bool LockManager::TryLockShared(const Key& key, TxId tx) {
   LockState& state = locks_[key];
   if (state.exclusive_owner >= 0 && state.exclusive_owner != tx) return false;
   if (state.exclusive_owner == tx) return true;  // exclusive subsumes shared
-  if (state.shared_owners.insert(tx).second) held_[tx].push_back(key);
+  auto pos = std::lower_bound(state.shared_owners.begin(),
+                              state.shared_owners.end(), tx);
+  if (pos == state.shared_owners.end() || *pos != tx) {
+    state.shared_owners.insert(pos, tx);
+    held_[tx].push_back(key);
+  }
   return true;
 }
 
@@ -20,10 +25,12 @@ bool LockManager::TryLockExclusive(const Key& key, TxId tx) {
   if (state.exclusive_owner == tx) return true;
   if (state.exclusive_owner >= 0) return false;
   // Upgrade allowed only if tx is the sole shared owner.
-  for (TxId owner : state.shared_owners) {
-    if (owner != tx) return false;
+  if (!state.shared_owners.empty() &&
+      (state.shared_owners.size() > 1 || state.shared_owners.front() != tx)) {
+    return false;
   }
-  bool was_shared = state.shared_owners.erase(tx) > 0;
+  bool was_shared = !state.shared_owners.empty();
+  state.shared_owners.clear();
   state.exclusive_owner = tx;
   if (!was_shared) held_[tx].push_back(key);
   return true;
@@ -37,7 +44,11 @@ void LockManager::ReleaseAll(TxId tx) {
     if (lock_it == locks_.end()) continue;
     LockState& state = lock_it->second;
     if (state.exclusive_owner == tx) state.exclusive_owner = -1;
-    state.shared_owners.erase(tx);
+    auto pos = std::lower_bound(state.shared_owners.begin(),
+                                state.shared_owners.end(), tx);
+    if (pos != state.shared_owners.end() && *pos == tx) {
+      state.shared_owners.erase(pos);
+    }
     if (state.exclusive_owner < 0 && state.shared_owners.empty()) {
       locks_.erase(lock_it);
     }
@@ -68,6 +79,13 @@ void LockManager::CheckInvariants() const {
         << "key '" << key << "' is exclusive-owned by tx "
         << state.exclusive_owner << " with " << state.shared_owners.size()
         << " shared owner(s) alongside";
+    FC_CHECK(std::is_sorted(state.shared_owners.begin(),
+                            state.shared_owners.end()) &&
+             std::adjacent_find(state.shared_owners.begin(),
+                                state.shared_owners.end()) ==
+                 state.shared_owners.end())
+        << "shared-owner list of key '" << key
+        << "' is not sorted and duplicate-free";
     if (state.exclusive_owner >= 0) ++owners;
     owners += static_cast<int64_t>(state.shared_owners.size());
     if (state.exclusive_owner >= 0) {
@@ -123,7 +141,9 @@ bool LockManager::HoldsExclusive(const Key& key, TxId tx) const {
 
 bool LockManager::HoldsShared(const Key& key, TxId tx) const {
   auto it = locks_.find(key);
-  return it != locks_.end() && it->second.shared_owners.count(tx) > 0;
+  return it != locks_.end() &&
+         std::binary_search(it->second.shared_owners.begin(),
+                            it->second.shared_owners.end(), tx);
 }
 
 }  // namespace fastcommit::db

@@ -2,7 +2,6 @@
 #define FASTCOMMIT_DB_LOCK_MANAGER_H_
 
 #include <functional>
-#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -44,6 +43,8 @@ class LockManager {
   ///   - no key is both exclusive-owned and shared-owned (the
   ///     shared/exclusive coexistence ban, including after an upgrade);
   ///   - no empty lock entries linger (ReleaseAll must erase them);
+  ///   - every shared-owner list is sorted and duplicate-free (the
+  ///     sorted-vector representation's own contract);
   ///   - held_ and the per-key owner sets agree exactly in both
   ///     directions, with no duplicate held_ entries (the upgrade path
   ///     must not double-record a key it re-acquired exclusively).
@@ -53,7 +54,12 @@ class LockManager {
  private:
   struct LockState {
     TxId exclusive_owner = -1;
-    std::set<TxId> shared_owners;
+    /// Shared owners as a small sorted vector: reader fan-in per key is a
+    /// handful of transactions, where binary-searched contiguous storage
+    /// beats a node-per-owner std::set on every operation the hot path
+    /// runs (membership, ordered insert, erase) and on allocation count.
+    /// Sorted order also keeps iteration deterministic, as the set's was.
+    std::vector<TxId> shared_owners;
   };
 
   /// True when held_[tx] records `key` (linear in that transaction's held

@@ -23,14 +23,15 @@ uint64_t HashPartitionId(int partition) {
 
 }  // namespace
 
-PartitionPlane::PartitionPlane(int num_partitions, int num_home_shards) {
+PartitionPlane::PartitionPlane(int num_partitions, int num_home_shards,
+                               ConcurrencyMode mode) {
   FC_CHECK(num_partitions >= 1) << "need at least one partition";
   FC_CHECK(num_home_shards >= 1) << "need at least one home shard";
   queues_.resize(static_cast<size_t>(num_partitions));
   groups_.resize(static_cast<size_t>(num_home_shards));
   for (int p = 0; p < num_partitions; ++p) {
     queues_[static_cast<size_t>(p)].participant =
-        std::make_unique<Participant>(p);
+        std::make_unique<Participant>(p, mode);
     groups_[static_cast<size_t>(HomeShardOf(p))].push_back(p);
   }
   drain_group_ = [this](int group) {

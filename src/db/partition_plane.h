@@ -57,8 +57,10 @@ class PartitionPlane {
  public:
   /// `num_home_shards` is the worker-group count, normally the sharded
   /// simulator's shard count so partition flushes and instance drains
-  /// scale together.
-  PartitionPlane(int num_partitions, int num_home_shards);
+  /// scale together. `mode` is the concurrency control every Participant
+  /// runs (Database::Options::concurrency).
+  PartitionPlane(int num_partitions, int num_home_shards,
+                 ConcurrencyMode mode = ConcurrencyMode::k2PL);
   PartitionPlane(const PartitionPlane&) = delete;
   PartitionPlane& operator=(const PartitionPlane&) = delete;
 

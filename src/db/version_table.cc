@@ -1,0 +1,81 @@
+#include "db/version_table.h"
+
+#include "core/check.h"
+
+namespace fastcommit::db {
+
+uint64_t VersionTable::ReadWord(const Key& key) const {
+  auto it = words_.find(key);
+  return it == words_.end() ? 0 : it->second.word;
+}
+
+bool VersionTable::TryLock(const Key& key, TxId tx) {
+  Entry& entry = words_[key];
+  if (Locked(entry.word)) return entry.owner == tx;
+  entry.word |= kLockedBit;
+  entry.owner = tx;
+  ++locked_words_;
+  return true;
+}
+
+void VersionTable::UnlockIfOwned(const Key& key, TxId tx) {
+  auto it = words_.find(key);
+  if (it == words_.end() || !Locked(it->second.word) ||
+      it->second.owner != tx) {
+    return;
+  }
+  it->second.word &= ~kLockedBit;
+  it->second.owner = -1;
+  --locked_words_;
+  if (it->second.word == 0) words_.erase(it);
+}
+
+void VersionTable::PublishIfOwned(const Key& key, TxId tx) {
+  auto it = words_.find(key);
+  if (it == words_.end() || !Locked(it->second.word) ||
+      it->second.owner != tx) {
+    return;
+  }
+  // Clear the lock and advance the publish count in one step: the word
+  // moves from (v, locked) to (v + 1, unlocked), so any reader that
+  // observed v re-validates to a mismatch and any later reader sees v + 1.
+  it->second.word = (it->second.word & ~kLockedBit) + 2;
+  it->second.owner = -1;
+  --locked_words_;
+}
+
+TxId VersionTable::OwnerOf(const Key& key) const {
+  auto it = words_.find(key);
+  if (it == words_.end() || !Locked(it->second.word)) return -1;
+  return it->second.owner;
+}
+
+void VersionTable::ForEachLocked(
+    const std::function<void(const Key&, TxId, uint64_t)>& fn) const {
+  for (const auto& [key, entry] : words_) {
+    if (Locked(entry.word)) fn(key, entry.owner, VersionOf(entry.word));
+  }
+}
+
+void VersionTable::CheckInvariants() const {
+  int64_t locked = 0;
+  for (const auto& [key, entry] : words_) {
+    if (Locked(entry.word)) {
+      ++locked;
+      FC_CHECK(entry.owner >= 0)
+          << "locked version word for key '" << key << "' has no owner";
+    } else {
+      FC_CHECK(entry.owner < 0)
+          << "unlocked version word for key '" << key
+          << "' still names owner tx " << entry.owner;
+      FC_CHECK(entry.word != 0)
+          << "version-0 unlocked entry lingers for key '" << key
+          << "' (unlock must erase it)";
+    }
+  }
+  FC_CHECK(locked == locked_words_)
+      << "locked-word counter " << locked_words_ << " != table count "
+      << locked;
+}
+
+}  // namespace fastcommit::db

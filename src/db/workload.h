@@ -46,6 +46,25 @@ std::vector<Transaction> MakeHotspotWorkload(int num_txs, int num_keys,
                                              double hot_probability,
                                              uint64_t seed);
 
+/// Read-mostly skewed workload, the shape that separates the concurrency
+/// modes (bench_db_throughput's 2PL-vs-OCC ablation): with probability
+/// `read_tx_fraction` a transaction is a pure reader of `reads_per_tx`
+/// Gets (each hot — one of the first `hot_keys` items — with probability
+/// `hot_probability`, cold-uniform otherwise); otherwise it is a writer of
+/// `writes_per_tx` hot Adds. `writes_per_tx` is the true-conflict knob:
+/// 1 makes writers single-partition point-writes whose lock window is a
+/// single drain instant (logically conflict-free traffic — every 2PL
+/// reader-writer collision on the hot set is false sharing that OCC's
+/// invisible readers never pay), while >= 2 spreads each writer across
+/// partitions so its locks span the commit protocol and real write
+/// conflicts hit both modes.
+std::vector<Transaction> MakeReadMostlyWorkload(int num_txs, int num_keys,
+                                                int hot_keys, int reads_per_tx,
+                                                int writes_per_tx,
+                                                double read_tx_fraction,
+                                                double hot_probability,
+                                                uint64_t seed);
+
 }  // namespace fastcommit::db
 
 #endif  // FASTCOMMIT_DB_WORKLOAD_H_

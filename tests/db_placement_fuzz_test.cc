@@ -51,11 +51,17 @@ struct FuzzConfig {
   double zipf_exponent = 0.0;
   int64_t drift_period = 0;
   int64_t max_inflight = 0;
+  /// Concurrency control is a *configuration* dimension, not a placement
+  /// one: 2PL and OCC legitimately produce different stats, but each must
+  /// be placement-invariant on its own.
+  ConcurrencyMode concurrency = ConcurrencyMode::k2PL;
   uint64_t seed = 1;
 
   std::string Describe() const {
     std::ostringstream out;
     out << "protocol=" << core::ProtocolName(protocol)
+        << " concurrency="
+        << (concurrency == ConcurrencyMode::kOCC ? "occ" : "2pl")
         << " workload=" << workload << " partitions=" << num_partitions
         << " txs=" << num_txs << " gap=" << arrival_gap
         << " attempts=" << max_attempts << " window=" << batch_window
@@ -137,6 +143,11 @@ FuzzConfig DrawConfig(sim::Rng& rng) {
     config.drift_period = rng.Chance(0.5) ? 25 : 0;
     config.max_inflight = rng.Chance(0.3) ? 6 : 0;
   }
+  // ~2/5 of configs run the OCC execution mode, so version-lock
+  // validation is fuzzed through every protocol/batching/traffic
+  // combination the rest of the draw produces.
+  config.concurrency =
+      rng.Chance(0.4) ? ConcurrencyMode::kOCC : ConcurrencyMode::k2PL;
   config.seed = rng.Next();
   return config;
 }
@@ -188,13 +199,15 @@ RunResult RunOne(const FuzzConfig& config, const Placement& placement) {
   options.batch_cross_set = config.batch_cross_set;
   options.batch_round_merge = config.batch_round_merge;
   options.max_inflight = config.max_inflight;
+  options.concurrency = config.concurrency;
   options.num_shards = placement.num_shards;
   options.num_threads = placement.num_threads;
   options.partition_parallel = placement.partition_parallel;
   options.conflict_lookahead = placement.conflict_lookahead;
   // Cheap extra teeth: every flush barrier sweeps the per-partition lock
-  // invariants (only observed on the partition-parallel path) and, with
-  // lookahead on, the tracker-vs-held-locks soundness cross-check.
+  // (or, under OCC, version-table) invariants — only observed on the
+  // partition-parallel path — and, with lookahead on, the
+  // tracker-vs-held-footprint soundness cross-check.
   options.check_invariants = true;
   Database database(options);
   RunResult result;
@@ -299,6 +312,44 @@ TEST(PlacementFuzzTest, AcceptanceGridAdaptiveCrossSet) {
       for (int threads : {1, 4}) {
         for (bool parallel : {false, true}) {
           Placement placement{shards, threads, parallel};
+          SCOPED_TRACE("placement: " + placement.Describe());
+          RunResult run = RunOne(config, placement);
+          EXPECT_EQ(reference.stats, run.stats);
+          EXPECT_EQ(reference.batch, run.batch);
+        }
+      }
+    }
+  }
+}
+
+// The OCC acceptance grid: version-lock validation must be bitwise
+// placement-invariant exactly like 2PL — 1/2/8 shards × 1/4 threads ×
+// partition-parallel on/off, on a contended hotspot workload with real
+// validation failures and retries in play.
+TEST(PlacementFuzzTest, AcceptanceGridOcc) {
+  const core::ProtocolKind kProtocols[] = {core::ProtocolKind::kInbac,
+                                           core::ProtocolKind::kTwoPc,
+                                           core::ProtocolKind::kPaxosCommit};
+  for (core::ProtocolKind protocol : kProtocols) {
+    FuzzConfig config;
+    config.protocol = protocol;
+    config.concurrency = ConcurrencyMode::kOCC;
+    config.workload = 2;  // hotspot: write-write version-lock conflicts
+    config.num_partitions = 6;
+    config.num_txs = 80;
+    config.arrival_gap = 15;
+    config.seed = 0xBEEF;
+    SCOPED_TRACE(config.Describe());
+    RunResult reference = RunOne(config, Placement{1, 1, false});
+    EXPECT_GT(reference.stats.abort_validation_failures, 0)
+        << "hotspot run never exercised OCC validation failure";
+    EXPECT_EQ(reference.stats.abort_lock_conflicts, 0)
+        << "2PL abort bucket counted under OCC";
+    for (int shards : {1, 2, 8}) {
+      for (int threads : {1, 4}) {
+        for (bool parallel : {false, true}) {
+          Placement placement{shards, threads, parallel,
+                              /*conflict_lookahead=*/parallel};
           SCOPED_TRACE("placement: " + placement.Describe());
           RunResult run = RunOne(config, placement);
           EXPECT_EQ(reference.stats, run.stats);

@@ -13,7 +13,8 @@ report-only.
 
 Gated (lower is better): msgs_per_commit, mean_latency_ticks,
 p99_latency_ticks, makespan_ticks, barrier_flushes. Gated (higher is
-better): occupancy, commits_per_tick, achieved_over_offered. A row key
+better): occupancy, commits_per_tick, achieved_over_offered,
+occ_speedup_vs_2pl. A row key
 present in the baseline but missing from the current run also fails —
 silently dropping a measured configuration is a coverage regression.
 
@@ -33,7 +34,8 @@ import sys
 TOLERANCE = 0.05  # >5% regression fails
 LOWER_IS_BETTER = ("msgs_per_commit", "mean_latency_ticks",
                    "p99_latency_ticks", "makespan_ticks", "barrier_flushes")
-HIGHER_IS_BETTER = ("occupancy", "commits_per_tick", "achieved_over_offered")
+HIGHER_IS_BETTER = ("occupancy", "commits_per_tick", "achieved_over_offered",
+                    "occ_speedup_vs_2pl")
 REPORT_ONLY = ("wall_seconds", "txs_per_second", "speedup_vs_single_queue",
                "committed_per_sec_wall")
 

@@ -115,6 +115,16 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("commits_per_tick", err)
 
+    def test_occ_speedup_regression_fails(self):
+        rows = [{"key": "ablation/read50/low/occ",
+                 "occ_speedup_vs_2pl": 1.45, "commits_per_tick": 0.05}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], occ_speedup_vs_2pl=1.2)])  # -17%
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("occ_speedup_vs_2pl", err)
+
     def test_barrier_flushes_regression_fails(self):
         rows = [{"key": "inbac/openloop", "commits_per_tick": 0.025,
                  "barrier_flushes": 1000}]

@@ -40,6 +40,11 @@ python3 tools/bench_compare_test.py
 # drifts a simulated metric / stops skipping barriers.
 ./build/bench_db_openloop --txs 4000
 
+# 2PL-vs-OCC ablation gate at reduced scale: exits nonzero if OCC stops
+# clearing its goodput floor on the gated read-heavy low-conflict row, or
+# if OCC stats diverge across shard/thread/lookahead placements.
+./build/bench_db_throughput --txs 4000 --ablation-only
+
 if [[ "${1:-}" == "--asan" ]]; then
   run_suite build-asan -DFASTCOMMIT_SANITIZE=address
 fi
