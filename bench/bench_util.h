@@ -81,6 +81,24 @@ inline void SetAbortColumns(Row& row, int64_t abort_lock_conflicts,
       .Set("shed", shed);
 }
 
+/// Snapshot-read-plane columns shared by every db bench row that reports
+/// DatabaseStats: read-only transactions committed without the protocol
+/// and the individual kGets they carried, plus the derived simulated read
+/// throughput (the `reads_per_tick` JSON field, gated higher-is-better).
+/// All zero when Options::snapshot_reads is off.
+template <typename Row>
+inline void SetSnapshotColumns(Row& row, int64_t read_only_committed,
+                               int64_t snapshot_reads_served,
+                               int64_t makespan_ticks) {
+  row.Set("read_only_committed", read_only_committed)
+      .Set("snapshot_reads_served", snapshot_reads_served)
+      .Set("reads_per_tick",
+           makespan_ticks == 0
+               ? 0.0
+               : static_cast<double>(snapshot_reads_served) /
+                     static_cast<double>(makespan_ticks));
+}
+
 /// Machine-readable bench output (the `--json <path>` flag of the db
 /// benches): one JSON document per bench run, one row per measured
 /// configuration, keyed so `tools/bench_compare.py` can diff runs against

@@ -67,7 +67,10 @@ bool DatabaseStats::operator==(const DatabaseStats& other) const {
          abort_validation_failures == other.abort_validation_failures &&
          commit_messages == other.commit_messages &&
          offered == other.offered && shed == other.shed &&
-         latency == other.latency && makespan == other.makespan;
+         read_only_committed == other.read_only_committed &&
+         snapshot_reads_served == other.snapshot_reads_served &&
+         latency == other.latency && write_latency == other.write_latency &&
+         makespan == other.makespan;
 }
 
 namespace {
@@ -132,6 +135,9 @@ Participant& Database::partition(int index) {
 
 void Database::FlushPartitionWork() {
   plane_.Flush(&sim_);
+  // The flush just filled every pending snapshot read's value slots (their
+  // tasks rode the same queues); finalize before anything can observe them.
+  FinalizeSnapshotReads();
   if (options_.check_invariants && LookaheadEnabled()) {
     // Tracker soundness sweep: after a flush every enqueued finish has
     // run, so any lock still held belongs to a transaction whose Finish is
@@ -330,25 +336,151 @@ void Database::ReleaseTrackedKeys(TxId tx) {
 }
 
 void Database::FinishPartitions(TxId tx, const std::vector<int>& touched,
-                                commit::Decision decision, sim::Time at) {
+                                commit::Decision decision, sim::Time at,
+                                int64_t csn) {
   // The tracker can forget this transaction as soon as its finishes are
   // *enqueued*: FIFO queue order guarantees they drain before any
   // later-enqueued prepare on the same partitions, so a subsequent
   // disjointness proof that no longer sees these keys is still sound.
   if (LookaheadEnabled()) ReleaseTrackedKeys(tx);
+  int64_t watermark =
+      decision == commit::Decision::kCommit ? Watermark() : 0;
   for (int partition_id : touched) {
     if (options_.partition_parallel) {
       // Deferred: applied at the next flush barrier, which always comes
       // before any later prepare or partition-state read can observe the
       // difference.
-      plane_.EnqueueFinish(partition_id, at, tx, decision);
+      plane_.EnqueueFinish(partition_id, at, tx, decision, csn, watermark);
     } else {
-      plane_.partition(partition_id).Finish(tx, decision);
+      plane_.partition(partition_id).Finish(tx, decision, csn, watermark);
     }
   }
 }
 
+void Database::ExecuteSnapshotRead(PendingTx pending) {
+  const std::vector<Op>& ops = pending.tx.ops;
+  FC_CHECK(!ops.empty()) << "empty transaction";
+  // The snapshot is the stable CSN at this (canonical-order) instant:
+  // every commit with CSN <= it already ran FinishTx, so its finish tasks
+  // sit ahead of these read tasks in the same partition FIFOs — the read
+  // observes exactly the stable prefix, on any placement.
+  const int64_t snapshot = last_csn_;
+  auto read = std::make_unique<SnapshotRead>();
+  read->snapshot_csn = snapshot;
+  read->op_slots.resize(ops.size());
+
+  route_.clear();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    route_.emplace_back(PartitionOf(ops[i].key), static_cast<int>(i));
+  }
+  std::sort(route_.begin(), route_.end());
+  size_t num_touched = 0;
+  for (size_t i = 0; i < route_.size(); ++i) {
+    if (i == 0 || route_[i].first != route_[i - 1].first) ++num_touched;
+  }
+  // Size the slots before any pointer into them is taken (the SnapshotRead
+  // itself is heap-pinned, so growth of pending_reads_ cannot move them).
+  read->values.resize(num_touched);
+
+  sim::Time now = sim_.control()->Now();
+  size_t slot = 0;
+  for (size_t i = 0; i < route_.size(); ++slot) {
+    int partition_id = route_[i].first;
+    if (options_.partition_parallel) {
+      std::vector<Op> group = plane_.TakeOpsBuffer();
+      for (; i < route_.size() && route_[i].first == partition_id; ++i) {
+        read->op_slots[static_cast<size_t>(route_[i].second)] =
+            static_cast<int>(slot);
+        group.push_back(ops[static_cast<size_t>(route_[i].second)]);
+      }
+      plane_.EnqueueSnapshotRead(partition_id, now, pending.tx.id, snapshot,
+                                 std::move(group), &read->values[slot]);
+    } else {
+      group_ops_.clear();
+      for (; i < route_.size() && route_[i].first == partition_id; ++i) {
+        read->op_slots[static_cast<size_t>(route_[i].second)] =
+            static_cast<int>(slot);
+        group_ops_.push_back(ops[static_cast<size_t>(route_[i].second)]);
+      }
+      plane_.partition(partition_id)
+          .ReadAtSnapshot(snapshot, group_ops_, &read->values[slot]);
+    }
+  }
+  // Claim the snapshot against GC until the read drains: commits deciding
+  // in between compute their prune watermark as the minimum claimed CSN.
+  ++active_snapshots_[snapshot];
+
+  // Completion is immediate — the read plane adds no virtual latency and
+  // never aborts, so the open-loop admission window frees right away. The
+  // values themselves materialize at the next barrier (the observer).
+  ++stats_.read_only_committed;
+  stats_.snapshot_reads_served += static_cast<int64_t>(ops.size());
+  if (pending.on_complete) {
+    pending.on_complete(pending.tx, commit::Decision::kCommit);
+  }
+  --inflight_;
+
+  read->tx = std::move(pending.tx);
+  pending_reads_.push_back(std::move(read));
+  // The inline path already filled the slots above; finalize in place so
+  // the observer and fingerprint see the same per-read order as the
+  // partition-parallel path.
+  if (!options_.partition_parallel) FinalizeSnapshotReads();
+}
+
+void Database::FinalizeSnapshotReads() {
+  if (pending_reads_.empty()) return;
+  // Swap out the list first: the observer may not re-enter the database,
+  // but FC_CHECK failures or future hooks should never walk a list being
+  // appended to.
+  std::vector<std::unique_ptr<SnapshotRead>> done;
+  done.swap(pending_reads_);
+  for (const std::unique_ptr<SnapshotRead>& read : done) {
+    // Reassemble in op order: each partition slot holds its kGets' values
+    // in program order, so one cursor per slot zips them back.
+    cursor_scratch_.assign(read->values.size(), 0);
+    values_scratch_.clear();
+    for (size_t i = 0; i < read->tx.ops.size(); ++i) {
+      size_t slot = static_cast<size_t>(read->op_slots[i]);
+      size_t& cursor = cursor_scratch_[slot];
+      FC_CHECK(cursor < read->values[slot].size())
+          << "snapshot read of tx " << read->tx.id
+          << " returned fewer values than read ops at slot " << slot;
+      values_scratch_.push_back(std::move(read->values[slot][cursor]));
+      ++cursor;
+    }
+    // Fold the values into the placement-invariance fingerprint (FNV-1a,
+    // length-prefixed so value boundaries are unambiguous).
+    for (const Value& value : values_scratch_) {
+      uint64_t len = static_cast<uint64_t>(value.size());
+      for (int b = 0; b < 8; ++b) {
+        read_fingerprint_ ^= (len >> (8 * b)) & 0xffu;
+        read_fingerprint_ *= 1099511628211ULL;
+      }
+      for (char c : value) {
+        read_fingerprint_ ^= static_cast<unsigned char>(c);
+        read_fingerprint_ *= 1099511628211ULL;
+      }
+    }
+    if (snapshot_observer_) {
+      snapshot_observer_(read->tx, read->snapshot_csn, values_scratch_);
+    }
+    auto it = active_snapshots_.find(read->snapshot_csn);
+    FC_CHECK(it != active_snapshots_.end() && it->second > 0)
+        << "snapshot CSN " << read->snapshot_csn
+        << " finalized without an active claim";
+    if (--it->second == 0) active_snapshots_.erase(it);
+  }
+}
+
 void Database::Execute(PendingTx pending) {
+  // The read-only plane: checked before any routing, locking, or
+  // lookahead tracking, so a snapshot read leaves zero concurrency-control
+  // footprint in either mode (2PL locks and OCC version words alike).
+  if (options_.snapshot_reads && IsReadOnly(pending.tx)) {
+    ExecuteSnapshotRead(std::move(pending));
+    return;
+  }
   std::vector<int> touched;
   std::vector<commit::Vote> votes;
   PrepareTouched(pending, &touched, &votes);
@@ -624,11 +756,19 @@ void Database::FinishTx(const PendingTx& pending,
                         const std::vector<int>& touched,
                         commit::Decision decision, sim::Time started,
                         sim::Time finished_at) {
-  FinishPartitions(pending.tx.id, touched, decision, finished_at);
+  // The CSN authority: every commit is stamped here, in canonical
+  // control-plane order, so the sequence — and every snapshot derived
+  // from it — is identical on any shard/thread placement.
+  int64_t csn =
+      decision == commit::Decision::kCommit ? ++last_csn_ : 0;
+  FinishPartitions(pending.tx.id, touched, decision, finished_at, csn);
   if (decision == commit::Decision::kCommit) {
     ++stats_.committed;
     if (touched.size() > 1) {
       stats_.latency.Record(finished_at - started);
+      if (!IsReadOnly(pending.tx)) {
+        stats_.write_latency.Record(finished_at - started);
+      }
     }
     if (pending.on_complete) pending.on_complete(pending.tx, decision);
     --inflight_;
@@ -672,6 +812,10 @@ const DatabaseStats& Database::Drain() {
       << "open batches after drain: a window flush event was lost";
   FC_CHECK(inflight_key_hashes_.empty() && busy_key_counts_.empty())
       << "conflict-lookahead tracker not empty after drain";
+  FC_CHECK(pending_reads_.empty())
+      << "snapshot reads still pending after drain";
+  FC_CHECK(active_snapshots_.empty())
+      << "snapshot CSN claims leaked after drain";
   stats_.makespan = sim_.Now();
   return stats_;
 }
@@ -710,6 +854,32 @@ int64_t Database::SumInts() {
     sum += plane_.partition(p).store().SumInts();
   }
   return sum;
+}
+
+int64_t Database::GetIntAtSnapshot(const Key& key, int64_t snapshot_csn) {
+  FlushPartitionWork();
+  return plane_.partition(PartitionOf(key))
+      .store()
+      .GetIntAtSnapshot(key, snapshot_csn);
+}
+
+int64_t Database::TotalVersions() {
+  FlushPartitionWork();
+  int64_t total = 0;
+  for (int p = 0; p < plane_.num_partitions(); ++p) {
+    total += plane_.partition(p).store().total_versions();
+  }
+  return total;
+}
+
+int64_t Database::TruncateVersions() {
+  FlushPartitionWork();
+  int64_t watermark = Watermark();
+  int64_t dropped = 0;
+  for (int p = 0; p < plane_.num_partitions(); ++p) {
+    dropped += plane_.partition(p).store().Truncate(watermark);
+  }
+  return dropped;
 }
 
 }  // namespace fastcommit::db

@@ -101,7 +101,24 @@ struct DatabaseStats {
   /// Arrivals rejected at admission because Options::max_inflight
   /// transactions were already in flight (load shedding at saturation).
   int64_t shed = 0;
+  /// Read-only transactions served by the snapshot read plane
+  /// (Options::snapshot_reads): committed without locks, votes, protocol
+  /// messages, or a pooled instance. A separate outcome bucket — the
+  /// post-drain invariant becomes
+  ///   committed + aborted + shed + read_only_committed == submissions
+  /// — so `committed` keeps meaning "went through concurrency control",
+  /// and every stat is bitwise unchanged when the flag is off (this stays
+  /// zero and read-only transactions ride the normal path).
+  int64_t read_only_committed = 0;
+  /// Individual kGet ops served at a snapshot (summed over
+  /// read_only_committed transactions).
+  int64_t snapshot_reads_served = 0;
   LatencyStats latency;  ///< per multi-partition commit, ticks
+  /// Commit latency of multi-partition transactions with at least one
+  /// write op — the series the read-mix bench gates, since `latency`
+  /// mixes read-only commits in when snapshot reads are off and would
+  /// make write tails incomparable across the snapshot on/off axis.
+  LatencyStats write_latency;
   sim::Time makespan = 0;  ///< virtual time when the run drained
 
   double MeanLatency() const { return latency.Mean(); }
@@ -155,6 +172,15 @@ class Database {
   /// the drain thread; must not call Submit or Drain.
   using CompletionCallback =
       std::function<void(const Transaction& tx, commit::Decision decision)>;
+
+  /// Observer of finalized snapshot reads (Options::snapshot_reads): fires
+  /// at the flush barrier that drained the read, with the values in op
+  /// order (absent keys read as empty Values). Runs on the control plane
+  /// mid-barrier; must not call Submit, Drain, or any accessor that
+  /// flushes.
+  using SnapshotReadObserver =
+      std::function<void(const Transaction& tx, int64_t snapshot_csn,
+                         const std::vector<Value>& values)>;
 
   struct Options {
     int num_partitions = 4;
@@ -259,6 +285,23 @@ class Database {
     /// to the barrier-per-transaction path (the placement fuzz harness
     /// toggles this knob inside its identity gate).
     bool conflict_lookahead = false;
+    /// Lock-free snapshot reads: a submitted transaction whose every op is
+    /// a kGet (db::IsReadOnly — both concurrency modes share the
+    /// predicate) bypasses the commit protocol entirely. It is assigned
+    /// the current *stable CSN* — the commit sequence number the decide
+    /// path stamps on every committed transaction, in canonical order —
+    /// and its reads drain through the partition FIFO as
+    /// PartitionPlane::EnqueueSnapshotRead tasks: every commit with
+    /// CSN <= the snapshot was enqueued earlier on the same queues, so the
+    /// read observes exactly the stable prefix. No locks, no votes, no
+    /// messages, no pooled instance; completion (kCommit) is delivered
+    /// immediately at the submit instant and the values materialize at the
+    /// next flush barrier (set_snapshot_read_observer). Version chains are
+    /// pruned to the reader low-watermark — the minimum CSN an in-flight
+    /// snapshot can still demand — so MVCC memory stays bounded. Off (the
+    /// default): read-only transactions take the normal locked path and
+    /// every pre-existing stat is bitwise unchanged.
+    bool snapshot_reads = false;
     /// Partition-parallel execution (the default): partition data-path
     /// work — Prepare's lock acquisition, commit's write application,
     /// lock release — runs on the partition plane (db/partition_plane.h):
@@ -383,6 +426,35 @@ class Database {
   /// Sum of numeric values across every partition.
   int64_t SumInts();
 
+  /// Numeric read at a snapshot: the newest version of `key` with
+  /// CSN <= `snapshot_csn` (0 when absent). Flushes pending partition work
+  /// first, like GetInt.
+  int64_t GetIntAtSnapshot(const Key& key, int64_t snapshot_csn);
+  /// The stable CSN: the commit sequence number of the most recently
+  /// decided commit, which is what a snapshot read submitted now would be
+  /// assigned. 0 before the first commit.
+  int64_t stable_csn() const { return last_csn_; }
+  /// Sum of live versions across every partition's chains (MVCC memory
+  /// footprint, for the GC tests).
+  int64_t TotalVersions();
+  /// Explicit full GC sweep: prunes every chain to the current reader
+  /// low-watermark (min in-flight snapshot CSN, else the stable CSN).
+  /// Returns versions dropped. The per-commit incremental pruning usually
+  /// makes this a no-op; it exists to bound chains after a reader-heavy
+  /// phase ends.
+  int64_t TruncateVersions();
+  /// Sink for finalized snapshot-read values (tests assert snapshot
+  /// stability and read-your-writes through it).
+  void set_snapshot_read_observer(SnapshotReadObserver observer) {
+    snapshot_observer_ = std::move(observer);
+  }
+  /// FNV-1a fold over every finalized snapshot read's values, in submit
+  /// order — one number that must be bitwise identical across every
+  /// shard/thread placement and the inline path, which is how the tests
+  /// gate that snapshot *results* (not just stats) are placement
+  /// invariant. Read it after a Drain.
+  uint64_t read_fingerprint() const { return read_fingerprint_; }
+
   const DatabaseStats& stats() const { return stats_; }
   /// Commit-instance pool counters (created/reused/live/peak_live/trimmed)
   /// — deliberately outside DatabaseStats, which must be identical between
@@ -409,6 +481,21 @@ class Database {
     Transaction tx;
     int attempt = 0;
     CompletionCallback on_complete;
+  };
+
+  /// One snapshot read in flight between its Execute (tasks enqueued,
+  /// completion already delivered) and the flush barrier that fills its
+  /// value slots. Heap-allocated so the `values` vectors the plane holds
+  /// pointers into never move while the list grows.
+  struct SnapshotRead {
+    Transaction tx;
+    int64_t snapshot_csn = 0;
+    /// Per-touched-partition value slots, filled at the drain; sized
+    /// before any pointer into it is taken.
+    std::vector<std::vector<Value>> values;
+    /// op index -> index into `values` of its partition's slot, for
+    /// reassembling the results in op order at finalization.
+    std::vector<int> op_slots;
   };
 
   /// One prepared transaction waiting in a batch. `votes` is aligned with
@@ -471,9 +558,31 @@ class Database {
   void PrepareTouched(const PendingTx& pending, std::vector<int>* touched,
                       std::vector<commit::Vote>* votes);
   /// Issues `tx`'s Finish at every touched partition: deferred onto the
-  /// partition plane (running before any later prepare), or inline.
+  /// partition plane (running before any later prepare), or inline. A
+  /// commit carries its CSN (0 for aborts) and the reader low-watermark
+  /// computed here, at enqueue time — a stale watermark at drain time only
+  /// prunes less, never a version a live snapshot still needs.
   void FinishPartitions(TxId tx, const std::vector<int>& touched,
-                        commit::Decision decision, sim::Time at);
+                        commit::Decision decision, sim::Time at,
+                        int64_t csn = 0);
+  /// The snapshot fast path (Options::snapshot_reads, read-only
+  /// transactions): assigns the stable CSN, enqueues lock-free read tasks
+  /// into the partition FIFOs, delivers kCommit immediately, and parks the
+  /// value slots in pending_reads_ for the next barrier. No locks, no
+  /// votes, no messages, no pooled instance.
+  void ExecuteSnapshotRead(PendingTx pending);
+  /// Reassembles every drained snapshot read's values in op order, folds
+  /// the read fingerprint, fires the observer, and releases the read's
+  /// claim on the GC watermark. Runs inside FlushPartitionWork, after the
+  /// plane flush that filled the slots.
+  void FinalizeSnapshotReads();
+  /// Minimum CSN a live snapshot reader can still demand: the smallest
+  /// in-flight snapshot CSN, else the stable CSN (chains prune to length
+  /// one when nobody is reading history).
+  int64_t Watermark() const {
+    return active_snapshots_.empty() ? last_csn_
+                                     : active_snapshots_.begin()->first;
+  }
   /// Drains pending partition-plane tasks (no-op when none are, or on the
   /// inline path, which never enqueues any).
   void FlushPartitionWork();
@@ -554,6 +663,23 @@ class Database {
   std::unordered_map<TxId, std::vector<uint64_t>> inflight_key_hashes_;
   std::vector<uint64_t> hash_scratch_;  ///< reused per-Execute key hashes
   int64_t lookahead_skips_ = 0;
+  /// The CSN authority: the decide path (FinishTx, canonical control-plane
+  /// order) stamps every committed transaction with ++last_csn_, so the
+  /// CSN sequence — and everything derived from it — is placement
+  /// invariant.
+  int64_t last_csn_ = 0;
+  /// In-flight snapshot CSN refcounts (ordered: begin() is the GC
+  /// watermark floor). A read claims its CSN at Execute and releases it
+  /// when finalized.
+  std::map<int64_t, int64_t> active_snapshots_;
+  /// Snapshot reads whose value slots await the next flush barrier, in
+  /// submit (canonical) order — which is therefore the finalization and
+  /// fingerprint-fold order, whatever barrier each read lands in.
+  std::vector<std::unique_ptr<SnapshotRead>> pending_reads_;
+  SnapshotReadObserver snapshot_observer_;
+  uint64_t read_fingerprint_ = 14695981039346656037ULL;  ///< FNV offset
+  std::vector<Value> values_scratch_;   ///< reused finalize reassembly
+  std::vector<size_t> cursor_scratch_;  ///< reused per-slot read cursors
 };
 
 }  // namespace fastcommit::db

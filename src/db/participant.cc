@@ -119,22 +119,24 @@ void Participant::StageWrites(TxId tx, const std::vector<Op>& local_ops) {
   }
 }
 
-void Participant::Finish(TxId tx, commit::Decision decision) {
+void Participant::Finish(TxId tx, commit::Decision decision, int64_t csn,
+                         int64_t gc_watermark) {
   if (mode_ == ConcurrencyMode::kOCC) {
-    FinishOcc(tx, decision);
+    FinishOcc(tx, decision, csn, gc_watermark);
     return;
   }
   auto it = staged_.find(tx);
   if (it != staged_.end()) {
     if (decision == commit::Decision::kCommit) {
-      for (const Op& op : it->second) store_.Apply(op);
+      for (const Op& op : it->second) store_.Apply(op, csn, gc_watermark);
     }
     staged_.erase(it);
   }
   locks_.ReleaseAll(tx);
 }
 
-void Participant::FinishOcc(TxId tx, commit::Decision decision) {
+void Participant::FinishOcc(TxId tx, commit::Decision decision, int64_t csn,
+                            int64_t gc_watermark) {
   // Read-only transactions (and transactions never prepared here, or
   // already finished — batching's doomed-member early release finishes
   // twice) have no staged entry and no version locks: nothing to do.
@@ -145,7 +147,7 @@ void Participant::FinishOcc(TxId tx, commit::Decision decision) {
     // PublishIfOwned is a no-op after the first duplicate of a key, so
     // the version moves exactly once per committed key however many ops
     // the transaction stacked on it.
-    for (const Op& op : it->second) store_.Apply(op);
+    for (const Op& op : it->second) store_.Apply(op, csn, gc_watermark);
     for (const Op& op : it->second) versions_.PublishIfOwned(op.key, tx);
   } else {
     for (const Op& op : it->second) versions_.UnlockIfOwned(op.key, tx);
@@ -153,7 +155,20 @@ void Participant::FinishOcc(TxId tx, commit::Decision decision) {
   staged_.erase(it);
 }
 
+void Participant::ReadAtSnapshot(int64_t snapshot_csn,
+                                 const std::vector<Op>& local_ops,
+                                 std::vector<Value>* out) const {
+  for (const Op& op : local_ops) {
+    if (op.type != Op::Type::kGet) continue;
+    std::optional<Value> value = store_.GetAtSnapshot(op.key, snapshot_csn);
+    out->push_back(value.has_value() ? std::move(*value) : Value{});
+  }
+}
+
 void Participant::CheckInvariants() const {
+  // Version-chain hygiene is mode-independent: both Finish paths append
+  // through KvStore::Apply, so chain ordering must hold everywhere.
+  store_.CheckInvariants();
   if (mode_ == ConcurrencyMode::kOCC) {
     FC_CHECK(locks_.held_locks() == 0)
         << "partition " << partition_id_

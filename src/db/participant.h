@@ -47,8 +47,23 @@ class Participant {
   /// additionally publishes (version bump). Safe and idempotent for
   /// transactions never prepared here; under OCC a read-only transaction
   /// left nothing behind, so its Finish is a true no-op (the read-only
-  /// fast path).
-  void Finish(TxId tx, commit::Decision decision);
+  /// fast path). A commit applies its staged writes as versions at `csn`
+  /// (the control plane's commit sequence number; 0 = the pre-MVCC head
+  /// overwrite, kept for direct test callers), and the touched chains are
+  /// pruned to `gc_watermark` — the minimum CSN a live snapshot reader can
+  /// still demand — so version memory stays bounded without sweeps.
+  void Finish(TxId tx, commit::Decision decision, int64_t csn = 0,
+              int64_t gc_watermark = 0);
+
+  /// The lock-free read plane: serves every kGet of `local_ops` from the
+  /// newest version <= `snapshot_csn`, appending one Value per read op to
+  /// `*out` (absent keys read as an empty Value). Touches no LockManager
+  /// or VersionTable state and mutates nothing — a pure chain lookup, in
+  /// either concurrency mode. Drained inside the partition FIFO (see
+  /// PartitionPlane::EnqueueSnapshotRead) so every commit with CSN <=
+  /// snapshot has applied before the read runs.
+  void ReadAtSnapshot(int64_t snapshot_csn, const std::vector<Op>& local_ops,
+                      std::vector<Value>* out) const;
 
   KvStore& store() { return store_; }
   const KvStore& store() const { return store_; }
@@ -82,7 +97,8 @@ class Participant {
   /// Stages the write ops of `local_ops` for `tx` (no-op for read-only op
   /// sets) — shared by both modes so Finish sees one staged-write shape.
   void StageWrites(TxId tx, const std::vector<Op>& local_ops);
-  void FinishOcc(TxId tx, commit::Decision decision);
+  void FinishOcc(TxId tx, commit::Decision decision, int64_t csn,
+                 int64_t gc_watermark);
 
   int partition_id_;
   ConcurrencyMode mode_;

@@ -83,8 +83,8 @@ void PartitionPlane::EnqueuePrepare(int partition, sim::Time at, TxId tx,
       << " after a task at " << q.last_enqueued_at;
   q.last_enqueued_at = at;
   Touch(partition);
-  q.tasks.push_back(Task{TaskKind::kPrepare, tx, commit::Decision::kNone,
-                         vote_out, std::move(ops)});
+  q.tasks.push_back(Task{TaskKind::kPrepare, tx, commit::Decision::kNone, 0, 0,
+                         vote_out, nullptr, std::move(ops)});
   ++pending_tasks_;
 }
 
@@ -101,19 +101,39 @@ void PartitionPlane::EnqueuePredictedPrepare(int partition, sim::Time at,
   // a write through repurposed memory. The prediction is instead verified
   // in DrainQueue against the real vote.
   q.tasks.push_back(Task{TaskKind::kPredictedPrepare, tx,
-                         commit::Decision::kNone, nullptr, std::move(ops)});
+                         commit::Decision::kNone, 0, 0, nullptr, nullptr,
+                         std::move(ops)});
   ++pending_tasks_;
 }
 
 void PartitionPlane::EnqueueFinish(int partition, sim::Time at, TxId tx,
-                                   commit::Decision decision) {
+                                   commit::Decision decision, int64_t csn,
+                                   int64_t gc_watermark) {
   PartitionQueue& q = queue(partition);
   FC_CHECK(at >= q.last_enqueued_at)
       << "partition task out of canonical order: finish at " << at
       << " after a task at " << q.last_enqueued_at;
   q.last_enqueued_at = at;
   Touch(partition);
-  q.tasks.push_back(Task{TaskKind::kFinish, tx, decision, nullptr, {}});
+  q.tasks.push_back(Task{TaskKind::kFinish, tx, decision, csn, gc_watermark,
+                         nullptr, nullptr, {}});
+  ++pending_tasks_;
+}
+
+void PartitionPlane::EnqueueSnapshotRead(int partition, sim::Time at, TxId tx,
+                                         int64_t snapshot_csn,
+                                         std::vector<Op> ops,
+                                         std::vector<Value>* values_out) {
+  FC_CHECK(values_out != nullptr) << "snapshot read task needs a value slot";
+  PartitionQueue& q = queue(partition);
+  FC_CHECK(at >= q.last_enqueued_at)
+      << "partition task out of canonical order: snapshot read at " << at
+      << " after a task at " << q.last_enqueued_at;
+  q.last_enqueued_at = at;
+  Touch(partition);
+  q.tasks.push_back(Task{TaskKind::kSnapshotRead, tx, commit::Decision::kNone,
+                         snapshot_csn, 0, nullptr, values_out,
+                         std::move(ops)});
   ++pending_tasks_;
 }
 
@@ -131,7 +151,11 @@ void PartitionPlane::DrainQueue(PartitionQueue& q) {
         break;
       }
       case TaskKind::kFinish:
-        q.participant->Finish(task.tx, task.decision);
+        q.participant->Finish(task.tx, task.decision, task.csn,
+                              task.gc_watermark);
+        break;
+      case TaskKind::kSnapshotRead:
+        q.participant->ReadAtSnapshot(task.csn, task.ops, task.values_out);
         break;
     }
   }

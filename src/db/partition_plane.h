@@ -94,9 +94,26 @@ class PartitionPlane {
                                std::vector<Op> ops);
 
   /// Queues a Finish (apply staged writes on commit, release locks) of
-  /// `tx` at `partition`. Deferred until the next barrier.
+  /// `tx` at `partition`. Deferred until the next barrier. `csn` is the
+  /// commit CSN a commit's writes are versioned at (0 for aborts), and
+  /// `gc_watermark` the reader low-watermark the touched chains may be
+  /// pruned to — both computed on the control plane at enqueue time, so a
+  /// stale (smaller) watermark at drain time only prunes less, never more.
   void EnqueueFinish(int partition, sim::Time at, TxId tx,
-                     commit::Decision decision);
+                     commit::Decision decision, int64_t csn = 0,
+                     int64_t gc_watermark = 0);
+
+  /// Queues a lock-free snapshot read of `ops`' kGets at `partition`
+  /// (Participant::ReadAtSnapshot). The values land in `*values_out` when
+  /// the plane flushes; the slot must stay valid until then (Database owns
+  /// it in the pending-read state finalized at the next barrier). Riding
+  /// the same FIFO as finishes is what makes the read consistent: every
+  /// commit with CSN <= `snapshot_csn` was enqueued earlier, so its writes
+  /// apply before the read runs — no locks, no votes, no barrier of its
+  /// own.
+  void EnqueueSnapshotRead(int partition, sim::Time at, TxId tx,
+                           int64_t snapshot_csn, std::vector<Op> ops,
+                           std::vector<Value>* values_out);
 
   bool has_pending() const { return pending_tasks_ > 0; }
 
@@ -122,13 +139,18 @@ class PartitionPlane {
   enum class TaskKind : uint8_t {
     kPrepare,           ///< run Prepare, write the vote to `vote_out`
     kPredictedPrepare,  ///< run Prepare, FC_CHECK the vote is kYes
-    kFinish,            ///< run Finish with `decision`
+    kFinish,            ///< run Finish with `decision` at `csn`
+    kSnapshotRead,      ///< run ReadAtSnapshot(csn) into `values_out`
   };
   struct Task {
     TaskKind kind = TaskKind::kFinish;
     TxId tx = 0;
     commit::Decision decision = commit::Decision::kNone;
+    /// kFinish: the commit CSN; kSnapshotRead: the snapshot CSN.
+    int64_t csn = 0;
+    int64_t gc_watermark = 0;  ///< kFinish only: chain-prune floor
     commit::Vote* vote_out = nullptr;
+    std::vector<Value>* values_out = nullptr;  ///< kSnapshotRead only
     std::vector<Op> ops;
   };
 

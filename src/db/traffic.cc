@@ -40,6 +40,10 @@ TrafficEngine::TrafficEngine(const TrafficOptions& options)
       << "diurnal_amplitude must be in [0, 1)";
   FC_CHECK(options.num_keys >= 2) << "need at least two keys";
   FC_CHECK(options.keys_per_tx >= 1) << "keys_per_tx must be >= 1";
+  FC_CHECK(options.read_fraction >= 0.0 && options.read_fraction <= 1.0)
+      << "read_fraction must be in [0, 1]";
+  FC_CHECK(options.reads_per_tx >= 1) << "reads_per_tx must be >= 1";
+  FC_CHECK(options.first_tx_id >= 0) << "negative first_tx_id";
   FC_CHECK(options.max_amount >= 1) << "max_amount must be >= 1";
   FC_CHECK(options.drift_period >= 0) << "negative drift_period";
 }
@@ -105,7 +109,18 @@ bool TrafficEngine::Next(Arrival* out) {
   clock_ += NextGap();
   out->at = clock_;
   out->tx = Transaction{};
-  out->tx.id = generated_ + 1;
+  out->tx.id = options_.first_tx_id + generated_ + 1;
+  // The read-mix draw happens only when the knob is on: at the default
+  // read_fraction = 0 this consumes nothing, so the golden sequences of
+  // every pre-existing configuration stay bitwise identical.
+  if (options_.read_fraction > 0.0 && rng_.Chance(options_.read_fraction)) {
+    for (int k = 0; k < options_.reads_per_tx; ++k) {
+      out->tx.ops.push_back(
+          Transaction::Get(ItemKey(static_cast<int>(SampleKey()))));
+    }
+    ++generated_;
+    return true;
+  }
   switch (options_.shape) {
     case TxShape::kTransferPair: {
       int64_t from = SampleKey();

@@ -58,6 +58,18 @@ struct TrafficOptions {
   TxShape shape = TxShape::kTransferPair;
   int keys_per_tx = 2;      ///< kReadModifyWrite only
   int64_t max_amount = 50;  ///< kTransferPair only
+  /// Fraction of arrivals emitted as pure read-only transactions:
+  /// `reads_per_tx` kGets on independently sampled keys (same Zipf + drift
+  /// popularity as the writes). The read-mix axis of the snapshot-read
+  /// bench sweeps this 0.5 -> 0.99. 0, the default, draws nothing from the
+  /// RNG, so every pre-existing golden sequence is bitwise unchanged.
+  double read_fraction = 0.0;
+  int reads_per_tx = 4;  ///< kGets per read-only arrival
+  /// Id offset: ids run first_tx_id + 1 .. first_tx_id + num_arrivals, so
+  /// concurrent streams (e.g. a scan stream beside an OLTP stream) can
+  /// share one database without id collisions. 0 keeps the historical
+  /// 1-based ids.
+  int64_t first_tx_id = 0;
   /// Zipf exponent of key popularity; 0 = uniform. ~0.99 is the classic
   /// YCSB-style skew.
   double zipf_exponent = 0.0;

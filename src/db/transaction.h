@@ -58,6 +58,16 @@ struct Transaction {
   }
 };
 
+/// True when every op is a kGet — the transactions the snapshot read plane
+/// (Database::Options::snapshot_reads) serves without locks, votes, or
+/// protocol messages. Both concurrency modes share the predicate.
+inline bool IsReadOnly(const Transaction& tx) {
+  for (const Op& op : tx.ops) {
+    if (op.type != Op::Type::kGet) return false;
+  }
+  return true;
+}
+
 }  // namespace fastcommit::db
 
 #endif  // FASTCOMMIT_DB_TRANSACTION_H_

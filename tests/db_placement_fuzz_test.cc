@@ -55,6 +55,13 @@ struct FuzzConfig {
   /// one: 2PL and OCC legitimately produce different stats, but each must
   /// be placement-invariant on its own.
   ConcurrencyMode concurrency = ConcurrencyMode::k2PL;
+  /// Snapshot-read plane on/off and the open-loop read mix — configuration
+  /// dimensions like `concurrency`: they change which transactions are
+  /// read-only and how those are served, and each setting must be
+  /// placement-invariant on its own (including the read-result
+  /// fingerprint when the plane is on).
+  bool snapshot_reads = false;
+  double read_fraction = 0.0;
   uint64_t seed = 1;
 
   std::string Describe() const {
@@ -72,9 +79,10 @@ struct FuzzConfig {
     if (open_loop) {
       out << " open_loop=" << ToString(process) << " mean_gap=" << mean_gap
           << " zipf=" << zipf_exponent << " drift=" << drift_period
-          << " max_inflight=" << max_inflight;
+          << " max_inflight=" << max_inflight
+          << " read_fraction=" << read_fraction;
     }
-    out << " seed=" << seed;
+    out << " snapshot=" << snapshot_reads << " seed=" << seed;
     return out.str();
   }
 };
@@ -142,7 +150,15 @@ FuzzConfig DrawConfig(sim::Rng& rng) {
     config.zipf_exponent = kZipfChoices[rng.Next() % 3];
     config.drift_period = rng.Chance(0.5) ? 25 : 0;
     config.max_inflight = rng.Chance(0.3) ? 6 : 0;
+    // Half the open-loop configs mix in pure read-only arrivals — the
+    // traffic the snapshot plane (drawn independently below) serves.
+    const double kReadFractions[] = {0.0, 0.5, 0.9};
+    config.read_fraction = kReadFractions[rng.Next() % 3];
   }
+  // Snapshot reads are drawn independently of the read mix: on with no
+  // read-only traffic it must change nothing, and off with read-only
+  // traffic those transactions must ride the locked path bit-identically.
+  config.snapshot_reads = rng.Chance(0.5);
   // ~2/5 of configs run the OCC execution mode, so version-lock
   // validation is fuzzed through every protocol/batching/traffic
   // combination the rest of the draw produces.
@@ -162,6 +178,8 @@ TrafficOptions MakeTraffic(const FuzzConfig& config) {
   traffic.drift_period = config.drift_period;
   traffic.burst_size = 8;
   traffic.diurnal_period = 4000;
+  traffic.read_fraction = config.read_fraction;
+  traffic.reads_per_tx = 3;
   traffic.seed = config.seed;
   return traffic;
 }
@@ -184,6 +202,9 @@ std::vector<Transaction> MakeWorkload(const FuzzConfig& config) {
 struct RunResult {
   DatabaseStats stats;
   Database::BatchStats batch;
+  /// Snapshot read *results* folded in submit order — placement-invariant
+  /// like the stats whenever the plane is on (FNV offset basis when off).
+  uint64_t read_fingerprint = 0;
 };
 
 RunResult RunOne(const FuzzConfig& config, const Placement& placement) {
@@ -200,6 +221,7 @@ RunResult RunOne(const FuzzConfig& config, const Placement& placement) {
   options.batch_round_merge = config.batch_round_merge;
   options.max_inflight = config.max_inflight;
   options.concurrency = config.concurrency;
+  options.snapshot_reads = config.snapshot_reads;
   options.num_shards = placement.num_shards;
   options.num_threads = placement.num_threads;
   options.partition_parallel = placement.partition_parallel;
@@ -225,6 +247,7 @@ RunResult RunOne(const FuzzConfig& config, const Placement& placement) {
     result.stats = database.Drain();
   }
   result.batch = database.batch_stats();
+  result.read_fingerprint = database.read_fingerprint();
   return result;
 }
 
@@ -250,7 +273,7 @@ TEST(PlacementFuzzTest, StatsIdenticalAcrossRandomPlacements) {
     // configuration.
     RunResult reference = RunOne(config, Placement{1, 1, false, false});
     ASSERT_EQ(reference.stats.committed + reference.stats.aborted +
-                  reference.stats.shed,
+                  reference.stats.shed + reference.stats.read_only_committed,
               config.num_txs)
         << "reference run lost transactions";
 
@@ -273,6 +296,7 @@ TEST(PlacementFuzzTest, StatsIdenticalAcrossRandomPlacements) {
       RunResult run = RunOne(config, placement);
       EXPECT_EQ(reference.stats, run.stats);
       EXPECT_EQ(reference.batch, run.batch);
+      EXPECT_EQ(reference.read_fingerprint, run.read_fingerprint);
       if (reference.stats != run.stats || reference.batch != run.batch) {
         // One divergence pins the config; more placements of the same
         // config would only repeat the noise.

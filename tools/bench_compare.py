@@ -2,8 +2,8 @@
 """Gate bench JSON output against the checked-in baseline.
 
 The db benches (`bench_db_throughput`, `bench_db_sharded`,
-`bench_db_batching`, `bench_db_openloop`) emit machine-readable results
-via `--json <path>`.
+`bench_db_batching`, `bench_db_openloop`, `bench_db_readmix`) emit
+machine-readable results via `--json <path>`.
 This script compares one or more of those documents against
 `BENCH_baseline.json` and fails (exit 1) when a *simulated* metric
 regresses by more than the tolerance — simulated metrics are
@@ -12,9 +12,10 @@ exactly across machines. Wall-clock metrics vary with hardware and are
 report-only.
 
 Gated (lower is better): msgs_per_commit, mean_latency_ticks,
-p99_latency_ticks, makespan_ticks, barrier_flushes. Gated (higher is
-better): occupancy, commits_per_tick, achieved_over_offered,
-occ_speedup_vs_2pl. A row key
+p99_latency_ticks, write_p99_latency_ticks, makespan_ticks,
+barrier_flushes. Gated (higher is better): occupancy, commits_per_tick,
+achieved_over_offered, occ_speedup_vs_2pl, reads_per_tick,
+read_speedup_vs_locked. A row key
 present in the baseline but missing from the current run also fails —
 silently dropping a measured configuration is a coverage regression.
 
@@ -33,9 +34,11 @@ import sys
 
 TOLERANCE = 0.05  # >5% regression fails
 LOWER_IS_BETTER = ("msgs_per_commit", "mean_latency_ticks",
-                   "p99_latency_ticks", "makespan_ticks", "barrier_flushes")
+                   "p99_latency_ticks", "write_p99_latency_ticks",
+                   "makespan_ticks", "barrier_flushes")
 HIGHER_IS_BETTER = ("occupancy", "commits_per_tick", "achieved_over_offered",
-                    "occ_speedup_vs_2pl")
+                    "occ_speedup_vs_2pl", "reads_per_tick",
+                    "read_speedup_vs_locked")
 REPORT_ONLY = ("wall_seconds", "txs_per_second", "speedup_vs_single_queue",
                "committed_per_sec_wall")
 

@@ -125,6 +125,36 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("occ_speedup_vs_2pl", err)
 
+    def test_reads_per_tick_regression_fails(self):
+        rows = [{"key": "inbac/read=0.99/snapshot=1", "reads_per_tick": 6.0,
+                 "write_p99_latency_ticks": 200}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], reads_per_tick=4.0)])  # -33%
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("reads_per_tick", err)
+
+    def test_read_speedup_regression_fails(self):
+        rows = [{"key": "inbac/read=0.99/speedup",
+                 "read_speedup_vs_locked": 6.0}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], read_speedup_vs_locked=1.5)])
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("read_speedup_vs_locked", err)
+
+    def test_write_p99_regression_fails(self):
+        rows = [{"key": "inbac/read=0.99/snapshot=1", "reads_per_tick": 6.0,
+                 "write_p99_latency_ticks": 200}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], write_p99_latency_ticks=300)])
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("write_p99_latency_ticks", err)
+
     def test_barrier_flushes_regression_fails(self):
         rows = [{"key": "inbac/openloop", "commits_per_tick": 0.025,
                  "barrier_flushes": 1000}]

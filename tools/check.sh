@@ -45,6 +45,14 @@ python3 tools/bench_compare_test.py
 # if OCC stats diverge across shard/thread/lookahead placements.
 ./build/bench_db_throughput --txs 4000 --ablation-only
 
+# Snapshot-read-plane gate at reduced scale: bench_db_readmix exits
+# nonzero if the snapshot plane stops serving >= 2x the locked path's
+# reads/tick at read fraction 0.99, turning snapshot reads on regresses
+# the write p99 at any read fraction, a read-only transaction leaks onto
+# the locked path, the concurrent scan stream stops being fully served,
+# or stats / read fingerprints diverge across placements.
+./build/bench_db_readmix --txs 4000
+
 if [[ "${1:-}" == "--asan" ]]; then
   run_suite build-asan -DFASTCOMMIT_SANITIZE=address
 fi
