@@ -60,6 +60,16 @@ inline Vote ConjoinVotes(const std::vector<Vote>& votes) {
   return result;
 }
 
+/// The unique decision every protocol reaches on a failure-free run over
+/// `votes` — NBAC validity (commit iff all voted yes, Definition 1). This
+/// is the replay rule for resumed rounds: a recovering coordinator that
+/// re-runs a logged vote vector through a fresh instance must land on
+/// exactly this value, which the database FC_CHECKs per re-decided round.
+inline Decision DecideFromVotes(const std::vector<Vote>& votes) {
+  return ConjoinVotes(votes) == Vote::kYes ? Decision::kCommit
+                                           : Decision::kAbort;
+}
+
 /// Per-position disjunction of a member's aligned votes into a round's
 /// accumulator: the round's vote at participant j is kYes iff *some*
 /// member prepared there (see the round/member split above). Both vectors

@@ -1,0 +1,123 @@
+#include "db/commit_log.h"
+
+#include <algorithm>
+
+#include "core/check.h"
+#include "sim/rng.h"
+
+namespace fastcommit::db {
+
+CommitLog::CommitLog(int replicas, sim::Time unit, uint64_t seed)
+    : replicas_(replicas), unit_(unit), seed_(seed) {
+  FC_CHECK(replicas_ >= 1 && replicas_ <= 64)
+      << "CommitLog: replicas must be in [1, 64], got " << replicas_;
+  FC_CHECK(unit_ >= 1) << "CommitLog: unit must be >= 1";
+}
+
+int64_t CommitLog::Append(int round_width, int64_t members, sim::Time now) {
+  int64_t slot_id = next_slot_++;
+  Slot slot;
+  slot.accept_acks = QuorumBitset(replicas_);
+  slot.decide_acks = QuorumBitset(replicas_);
+  slot.appended_at = now;
+  slot.round_width = round_width;
+  slot.members = members;
+  slots_.emplace(slot_id, slot);
+  ++stats_.appends;
+  stats_.max_live_slots =
+      std::max(stats_.max_live_slots, static_cast<int64_t>(slots_.size()));
+  return slot_id;
+}
+
+CommitLog::Slot* CommitLog::Get(int64_t slot) {
+  auto it = slots_.find(slot);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+const CommitLog::Slot* CommitLog::Get(int64_t slot) const {
+  auto it = slots_.find(slot);
+  return it == slots_.end() ? nullptr : &it->second;
+}
+
+void CommitLog::RecordDecision(int64_t slot_id, commit::Decision decision,
+                               sim::Time now) {
+  Slot* slot = Get(slot_id);
+  FC_CHECK(slot != nullptr) << "CommitLog: decision for a freed slot";
+  FC_CHECK(slot->decision == commit::Decision::kNone)
+      << "CommitLog: slot " << slot_id << " decided twice";
+  FC_CHECK(decision != commit::Decision::kNone)
+      << "CommitLog: recording an empty decision";
+  slot->decision = decision;
+  slot->decided_at = now;
+  ++stats_.decisions;
+}
+
+CommitLog::AckOutcome CommitLog::OnReplicaAck(int64_t slot_id, Phase phase,
+                                              int replica) {
+  Slot* slot = Get(slot_id);
+  if (slot == nullptr) return AckOutcome::kStale;
+  bool accept = phase == Phase::kAccept;
+  bool durable = accept ? slot->accept_durable : slot->decide_durable;
+  if (durable) return AckOutcome::kStale;
+  QuorumBitset& acks = accept ? slot->accept_acks : slot->decide_acks;
+  if (!acks.Set(replica)) return AckOutcome::kStale;
+  if (acks.Full()) return AckOutcome::kFastQuorum;
+  bool& slow_armed = accept ? slot->accept_slow_armed : slot->decide_slow_armed;
+  if (acks.Majority() && !slow_armed) {
+    slow_armed = true;
+    return AckOutcome::kSlowQuorum;
+  }
+  return AckOutcome::kNoQuorum;
+}
+
+bool CommitLog::MarkDurable(int64_t slot_id, Phase phase, bool fast_path) {
+  Slot* slot = Get(slot_id);
+  if (slot == nullptr) return false;
+  bool& durable =
+      phase == Phase::kAccept ? slot->accept_durable : slot->decide_durable;
+  if (durable) return false;
+  durable = true;
+  if (fast_path) {
+    ++stats_.fast_path_decisions;
+  } else {
+    ++stats_.slow_path_decisions;
+  }
+  if (phase == Phase::kDecide) max_committed_ = std::max(max_committed_, slot_id);
+  return true;
+}
+
+sim::Time CommitLog::AckDelay(int64_t slot, Phase phase, int replica) const {
+  // One stateless splitmix stream per (slot, phase, replica): deterministic,
+  // placement-invariant, and independent of every other random draw.
+  sim::Rng rng(seed_ ^ (static_cast<uint64_t>(slot) * 0x9e3779b97f4a7c15ULL) ^
+               (static_cast<uint64_t>(replica + 1) << 40) ^
+               (static_cast<uint64_t>(phase) + 1));
+  sim::Time delay =
+      unit_ + static_cast<sim::Time>(rng.Next() % static_cast<uint64_t>(unit_));
+  if (rng.Next() % 5 == 0) delay *= 4;  // straggler replica
+  return delay;
+}
+
+void CommitLog::MarkExecuted(int64_t slot_id) {
+  Slot* slot = Get(slot_id);
+  FC_CHECK(slot != nullptr) << "CommitLog: executing a freed slot";
+  FC_CHECK(!slot->executed) << "CommitLog: slot " << slot_id << " executed twice";
+  slot->executed = true;
+  ++stats_.executed_slots;
+  max_executed_ = std::max(max_executed_, slot_id);
+}
+
+int64_t CommitLog::FreeSlots() {
+  int64_t freed = 0;
+  auto it = slots_.begin();
+  while (it != slots_.end() && it->first == min_active_ &&
+         it->second.executed) {
+    it = slots_.erase(it);
+    ++min_active_;
+    ++freed;
+  }
+  stats_.freed_slots += freed;
+  return freed;
+}
+
+}  // namespace fastcommit::db

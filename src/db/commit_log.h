@@ -1,0 +1,168 @@
+#ifndef FASTCOMMIT_DB_COMMIT_LOG_H_
+#define FASTCOMMIT_DB_COMMIT_LOG_H_
+
+#include <cstdint>
+#include <map>
+
+#include "commit/commit_protocol.h"
+#include "sim/sim_time.h"
+
+namespace fastcommit::db {
+
+/// Ack bitset over the virtual replica group of one log slot phase, in the
+/// spirit of ubft's per-instance InstanceState: a slot phase becomes
+/// durable on fast-path unanimity (every replica acked) or on slow-path
+/// majority, whichever fires first.
+class QuorumBitset {
+ public:
+  QuorumBitset() = default;
+  explicit QuorumBitset(int replicas) : replicas_(replicas) {}
+
+  /// Records replica `index`'s ack. Returns false when it already acked.
+  bool Set(int index) {
+    uint64_t bit = uint64_t{1} << index;
+    if ((bits_ & bit) != 0) return false;
+    bits_ |= bit;
+    ++count_;
+    return true;
+  }
+
+  bool Full() const { return count_ == replicas_; }
+  bool Majority() const { return count_ >= replicas_ / 2 + 1; }
+  int count() const { return count_; }
+
+ private:
+  uint64_t bits_ = 0;
+  int count_ = 0;
+  int replicas_ = 0;
+};
+
+/// Slot-based replicated coordinator log, modeled on depfast's PaxosServer:
+/// a map of live slots bracketed by min_active / max_committed /
+/// max_executed watermarks, with FreeSlots()-style GC so log memory stays
+/// bounded like the instance pool. One slot holds one commit round — the
+/// round's member/vote record is the bulk-accept analogue of depfast's
+/// OnBulkAccept (many transactions ride one replicated record).
+///
+/// Replication is virtual: the log tracks per-replica ack bitsets for two
+/// phases per slot — kAccept (the round's votes are durable; recovery can
+/// re-decide) and kDecide (the decision is durable; commits may be exposed
+/// to clients). Ack delays come from a stateless per-(slot, phase, replica)
+/// RNG stream seeded off the log's own seed, never the database's main
+/// stream, so enabling replication cannot shift any pre-existing random
+/// sequence.
+class CommitLog {
+ public:
+  enum class Phase : uint8_t { kAccept = 0, kDecide = 1 };
+
+  /// Result of feeding one replica ack into a slot phase.
+  enum class AckOutcome : uint8_t {
+    kNoQuorum,    ///< ack recorded, no quorum boundary crossed
+    kFastQuorum,  ///< every replica acked: fast-path durability
+    kSlowQuorum,  ///< majority just reached: arm the slow second phase
+    kStale,       ///< slot freed / phase already durable / duplicate ack
+  };
+
+  struct Slot {
+    commit::Decision decision = commit::Decision::kNone;
+    QuorumBitset accept_acks;
+    QuorumBitset decide_acks;
+    bool accept_durable = false;
+    bool decide_durable = false;
+    /// Slow-path second phase already scheduled for the phase.
+    bool accept_slow_armed = false;
+    bool decide_slow_armed = false;
+    /// Finishes delivered; the slot is GC-eligible once the contiguous
+    /// prefix from min_active is executed.
+    bool executed = false;
+    sim::Time appended_at = 0;
+    sim::Time decided_at = 0;
+    int round_width = 0;   ///< partitions in the round
+    int64_t members = 0;   ///< transactions riding the slot
+  };
+
+  struct Stats {
+    int64_t appends = 0;
+    int64_t decisions = 0;
+    int64_t executed_slots = 0;
+    int64_t freed_slots = 0;
+    /// Durable phases won by fast-path unanimity vs slow-path majority.
+    int64_t fast_path_decisions = 0;
+    int64_t slow_path_decisions = 0;
+    /// High-water mark of live (unfreed) slots — the GC-boundedness gauge.
+    int64_t max_live_slots = 0;
+
+    bool operator==(const Stats& other) const {
+      return appends == other.appends && decisions == other.decisions &&
+             executed_slots == other.executed_slots &&
+             freed_slots == other.freed_slots &&
+             fast_path_decisions == other.fast_path_decisions &&
+             slow_path_decisions == other.slow_path_decisions &&
+             max_live_slots == other.max_live_slots;
+    }
+    bool operator!=(const Stats& other) const { return !(*this == other); }
+  };
+
+  /// `unit` is the base one-way message delay (Database::Options::unit);
+  /// every ack delay is >= unit, which is what lets the database lower the
+  /// simulator lookahead to `unit` when replication is on.
+  CommitLog(int replicas, sim::Time unit, uint64_t seed);
+
+  int replicas() const { return replicas_; }
+
+  /// Opens the next slot for a round of `round_width` partitions carrying
+  /// `members` transactions. Returns the slot id (monotonic from 1).
+  int64_t Append(int round_width, int64_t members, sim::Time now);
+
+  /// Live slot record, or nullptr once freed (late acks hit this).
+  Slot* Get(int64_t slot);
+  const Slot* Get(int64_t slot) const;
+
+  /// Records the protocol's decision for a live undecided slot.
+  void RecordDecision(int64_t slot, commit::Decision decision, sim::Time now);
+
+  /// Feeds replica `replica`'s ack for `phase` of `slot`.
+  AckOutcome OnReplicaAck(int64_t slot, Phase phase, int replica);
+
+  /// Marks `phase` durable (fast path when `fast_path`). Returns false when
+  /// the slot is gone or the phase was already durable — the fast and slow
+  /// paths race and only the first marker wins.
+  bool MarkDurable(int64_t slot, Phase phase, bool fast_path);
+
+  /// Deterministic ack delay of `replica` for `phase` of `slot`: uniform in
+  /// [unit, 2*unit), with ~1-in-5 stragglers taking 4x — so both quorum
+  /// paths genuinely occur (no straggler -> unanimity beats majority+2
+  /// delays; one straggler -> the slow path wins).
+  sim::Time AckDelay(int64_t slot, Phase phase, int replica) const;
+
+  /// Marks the slot's finishes delivered; advances max_executed.
+  void MarkExecuted(int64_t slot);
+
+  /// Frees the contiguous executed prefix starting at min_active (depfast's
+  /// FreeSlots). Returns the number of slots freed.
+  int64_t FreeSlots();
+
+  int64_t min_active() const { return min_active_; }
+  int64_t max_committed() const { return max_committed_; }
+  int64_t max_executed() const { return max_executed_; }
+  int64_t live_slots() const { return static_cast<int64_t>(slots_.size()); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  int replicas_;
+  sim::Time unit_;
+  uint64_t seed_;
+  int64_t next_slot_ = 1;
+  /// Lowest slot id not yet freed; slots below it are GC'd.
+  int64_t min_active_ = 1;
+  /// Highest slot id with a durable decision.
+  int64_t max_committed_ = 0;
+  /// Highest slot id whose finishes were delivered.
+  int64_t max_executed_ = 0;
+  std::map<int64_t, Slot> slots_;
+  Stats stats_;
+};
+
+}  // namespace fastcommit::db
+
+#endif  // FASTCOMMIT_DB_COMMIT_LOG_H_

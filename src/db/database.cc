@@ -84,6 +84,12 @@ sim::ShardedSimulator::Options SimOptions(const Database::Options& options) {
   // ticks after the decide instant (attempt >= 1, random part >= 1). That
   // bound is the merge rule's safe run-ahead window.
   sim_options.lookahead = options.unit * options.retry_backoff_units + 1;
+  if (options.log_replicas > 0) {
+    // With the commit log on, decide effects also schedule replica-ack
+    // events, at >= effect time + unit (CommitLog::AckDelay's floor) — the
+    // binding feedback bound when it is tighter than the retry backoff's.
+    sim_options.lookahead = std::min(sim_options.lookahead, options.unit);
+  }
   return sim_options;
 }
 
@@ -98,6 +104,55 @@ Database::Database(const Options& options)
             options.unit, options.pool_instances) {
   // num_partitions >= 1 is checked by the plane's constructor.
   plane_.set_check_invariants(options.check_invariants);
+  if (options_.log_replicas > 0) {
+    // The log's ack streams are seeded off the database seed but keyed per
+    // (slot, phase, replica), so turning the log on never perturbs the
+    // main rng_ stream the retry jitter draws from.
+    log_ = std::make_unique<CommitLog>(options_.log_replicas, options_.unit,
+                                       options_.seed ^ 0xC0117106ULL);
+  }
+  const FaultPlan& plan = options_.fault_plan;
+  if (plan.HasCoordinatorCrash()) {
+    FC_CHECK(plan.crash_at_occurrence >= 1)
+        << "crash_at_occurrence must be >= 1, got " << plan.crash_at_occurrence;
+    FC_CHECK(plan.crash_point != CrashPoint::kAfterAccept || LogEnabled())
+        << "crash-after-accept needs the commit log (Options::log_replicas)";
+    // The restart is a control event scheduled from wherever the crash
+    // fired — possibly a completion effect — so it must respect the
+    // simulator's run-ahead window like every other feedback event.
+    FC_CHECK(plan.coordinator_restart_delay >= SimOptions(options_).lookahead)
+        << "coordinator_restart_delay " << plan.coordinator_restart_delay
+        << " below the simulator lookahead " << SimOptions(options_).lookahead;
+    crash_countdown_ = plan.crash_at_occurrence;
+  }
+  if (plan.HasParticipantCrash()) {
+    FC_CHECK(options_.partition_parallel)
+        << "participant crashes need the partition plane (the inline path "
+           "has no queues to defer work in)";
+    FC_CHECK(plan.crash_partition >= 0 &&
+             plan.crash_partition < options_.num_partitions)
+        << "crash_partition " << plan.crash_partition << " out of range";
+    FC_CHECK(plan.participant_restart_delay >= 1)
+        << "participant_restart_delay must be >= 1";
+    // Time-driven: both transitions are plain control-plane instants, so
+    // the crash schedule is placement invariant. EventClass::kCrash orders
+    // them before any same-instant arrival or retry.
+    sim_.control()->ScheduleAt(
+        plan.participant_crash_at, sim::EventClass::kCrash, [this] {
+          plane_.CrashPartition(options_.fault_plan.crash_partition);
+          ++recovery_stats_.participant_crashes;
+        });
+    sim_.control()->ScheduleAt(
+        plan.participant_crash_at + plan.participant_restart_delay,
+        sim::EventClass::kCrash, [this] {
+          plane_.RestartPartition(options_.fault_plan.crash_partition);
+          ++recovery_stats_.participant_restarts;
+          // Apply the deferred finishes (and any reads queued behind them)
+          // at the restart instant, not at whichever barrier some later
+          // transaction happens to force.
+          FlushPartitionWork();
+        });
+  }
 }
 
 Database::~Database() = default;
@@ -394,7 +449,8 @@ void Database::ExecuteSnapshotRead(PendingTx pending) {
         group.push_back(ops[static_cast<size_t>(route_[i].second)]);
       }
       plane_.EnqueueSnapshotRead(partition_id, now, pending.tx.id, snapshot,
-                                 std::move(group), &read->values[slot]);
+                                 std::move(group), &read->values[slot],
+                                 &read->filled);
     } else {
       group_ops_.clear();
       for (; i < route_.size() && route_[i].first == partition_id; ++i) {
@@ -421,6 +477,12 @@ void Database::ExecuteSnapshotRead(PendingTx pending) {
   --inflight_;
 
   read->tx = std::move(pending.tx);
+  // The inline path filled every slot synchronously above; mark them so
+  // prefix finalization sees this read as complete.
+  if (!options_.partition_parallel) {
+    read->filled.store(static_cast<int>(read->values.size()),
+                       std::memory_order_relaxed);
+  }
   pending_reads_.push_back(std::move(read));
   // The inline path already filled the slots above; finalize in place so
   // the observer and fingerprint see the same per-read order as the
@@ -430,11 +492,30 @@ void Database::ExecuteSnapshotRead(PendingTx pending) {
 
 void Database::FinalizeSnapshotReads() {
   if (pending_reads_.empty()) return;
-  // Swap out the list first: the observer may not re-enter the database,
+  // Finalize the longest fully-filled *prefix*, in submit order: a down
+  // partition defers its read tasks, which must keep every later read
+  // pending too so the fingerprint fold order stays the submit order
+  // whatever barrier each read completes at. With no participant crash
+  // every slot is filled by this barrier and the prefix is the whole list
+  // — exactly the old finalize-everything behavior.
+  size_t done_count = 0;
+  while (done_count < pending_reads_.size() &&
+         pending_reads_[done_count]->filled.load(std::memory_order_acquire) ==
+             static_cast<int>(pending_reads_[done_count]->values.size())) {
+    ++done_count;
+  }
+  if (done_count == 0) return;
+  // Move the prefix out first: the observer may not re-enter the database,
   // but FC_CHECK failures or future hooks should never walk a list being
   // appended to.
   std::vector<std::unique_ptr<SnapshotRead>> done;
-  done.swap(pending_reads_);
+  done.reserve(done_count);
+  std::move(pending_reads_.begin(),
+            pending_reads_.begin() + static_cast<std::ptrdiff_t>(done_count),
+            std::back_inserter(done));
+  pending_reads_.erase(
+      pending_reads_.begin(),
+      pending_reads_.begin() + static_cast<std::ptrdiff_t>(done_count));
   for (const std::unique_ptr<SnapshotRead>& read : done) {
     // Reassemble in op order: each partition slot holds its kGets' values
     // in program order, so one cursor per slot zips them back.
@@ -474,6 +555,14 @@ void Database::FinalizeSnapshotReads() {
 }
 
 void Database::Execute(PendingTx pending) {
+  if (down_) {
+    // Coordinator outage: everything that reaches Execute — fresh
+    // submissions, retries, even read-only traffic — parks in arrival
+    // order and re-executes at the restart instant.
+    ++recovery_stats_.parked;
+    parked_.push_back(std::move(pending));
+    return;
+  }
   // The read-only plane: checked before any routing, locking, or
   // lookahead tracking, so a snapshot read leaves zero concurrency-control
   // footprint in either mode (2PL locks and OCC version words alike).
@@ -497,37 +586,35 @@ void Database::Execute(PendingTx pending) {
     return;
   }
 
+  if (MaybeCrashCoordinator(CrashPoint::kAfterPrepare, started)) {
+    // The crash caught this transaction between its prepares and its
+    // round: it is in-flight coordinator state like any open round, so it
+    // joins the round table as an unlogged single-member round — recovery
+    // presumes abort, releases its prepared locks, and resubmits it.
+    RoundState round;
+    round.id = next_round_id_++;
+    round.members.push_back(BatchMember{std::move(pending), std::move(touched),
+                                        std::move(votes), started});
+    round.partitions = round.members.front().touched;
+    rounds_.emplace(round.id, std::move(round));
+    return;
+  }
+
   if (BatchingEnabled()) {
     EnqueueInBatch(std::move(pending), std::move(touched), std::move(votes),
                    started);
     return;
   }
 
-  int shard = ShardOf(pending.tx.id);
-  CommitInstance* instance = pool_.Acquire(
-      shard, sim_.shard(shard), std::move(votes),
-      [this, shard, pending = std::move(pending), touched = std::move(touched),
-       started](CommitInstance* done_instance,
-                commit::Decision decision) mutable {
-        // Runs on the shard (possibly a worker thread) at the decide
-        // instant: snapshot the instance-local results here — after Release
-        // the per-epoch counters belong to the next incarnation — and defer
-        // everything that touches shared state to a canonical-order
-        // completion effect on the control plane.
-        int64_t messages = done_instance->messages();
-        sim::Time finished = done_instance->finish_time();
-        uint64_t effect_key = static_cast<uint64_t>(pending.tx.id);
-        sim_.PostEffect(
-            shard, finished, effect_key,
-            [this, done_instance, messages, decision,
-             pending = std::move(pending), touched = std::move(touched),
-             started, finished]() {
-              stats_.commit_messages += messages;
-              pool_.Release(done_instance);
-              FinishTx(pending, touched, decision, started, finished);
-            });
-      });
-  instance->Start();
+  RoundState round;
+  round.partitions = std::move(touched);
+  round.round_votes = std::move(votes);
+  // The member's own votes stay empty: ConjoinVotes of an empty vector is
+  // kYes, so the round's decision alone settles its fate — exactly the
+  // pre-refactor unbatched behavior. Its touched set is the round's.
+  round.members.push_back(
+      BatchMember{std::move(pending), round.partitions, {}, started});
+  StartRound(std::move(round), /*resumed=*/false);
 }
 
 sim::Time Database::WindowFor(const SetController& controller) const {
@@ -697,59 +784,288 @@ void Database::FlushBatch(Batch batch) {
     commit::DisjoinVotesInto(&round_votes, member.votes);
   }
 
+  RoundState round;
+  round.partitions = std::move(batch.partitions);
+  round.round_votes = std::move(round_votes);
+  round.members = std::move(batch.members);
+  round.from_batch = true;
+  StartRound(std::move(round), /*resumed=*/false);
+}
+
+void Database::StartRound(RoundState round, bool resumed) {
+  sim::Time now = sim_.control()->Now();
+  if (!resumed) {
+    round.id = next_round_id_++;
+    if (LogEnabled()) {
+      // Append the round's votes to the log and start the accept phase
+      // replicating immediately: it overlaps the commit protocol's own
+      // message delays, so the crash-free cost is only the decide-phase
+      // quorum wait at the end.
+      round.slot = log_->Append(static_cast<int>(round.partitions.size()),
+                                static_cast<int64_t>(round.members.size()),
+                                now);
+      ScheduleReplication(round.slot, CommitLog::Phase::kAccept, now);
+    }
+  }
+  if (TrackingRounds()) rounds_[round.id] = round;
+  if (!resumed && MaybeCrashCoordinator(CrashPoint::kAfterAccept, now)) {
+    // The votes are (replicating to) the log but the instance never
+    // starts: recovery finds the slot undecided and re-decides it.
+    return;
+  }
+
   // The lead (first-enqueued) member's id places the round and keys its
   // completion effect — ids join exactly one round per attempt, so the
   // (time, key) pair stays unique.
-  TxId lead = batch.members.front().pending.tx.id;
+  TxId lead = round.members.front().pending.tx.id;
   int shard = ShardOf(lead);
+  // The epoch fences the completion effect: a round that decides into a
+  // later epoch was already settled by recovery, so its effect only
+  // returns the instance to the pool.
+  int64_t epoch = coordinator_epoch_;
+  std::vector<commit::Vote> votes = round.round_votes;
   CommitInstance* instance = pool_.Acquire(
-      shard, sim_.shard(shard), std::move(round_votes),
-      [this, shard, lead, batch = std::move(batch)](
+      shard, sim_.shard(shard), std::move(votes),
+      [this, shard, lead, epoch, resumed, round = std::move(round)](
           CommitInstance* done_instance, commit::Decision decision) mutable {
+        // Runs on the shard (possibly a worker thread) at the decide
+        // instant: snapshot the instance-local results here — after Release
+        // the per-epoch counters belong to the next incarnation — and defer
+        // everything that touches shared state to a canonical-order
+        // completion effect on the control plane.
         int64_t messages = done_instance->messages();
         sim::Time finished = done_instance->finish_time();
         sim_.PostEffect(
             shard, finished, static_cast<uint64_t>(lead),
-            [this, done_instance, messages, decision,
-             batch = std::move(batch), finished]() mutable {
+            [this, done_instance, messages, decision, epoch, resumed,
+             round = std::move(round), finished]() mutable {
+              pool_.Release(done_instance);
+              if (epoch != coordinator_epoch_) {
+                // Decided into a dead epoch: the round's fate is
+                // recovery's to settle (it is still in the round table).
+                recovery_stats_.lost_round_messages += messages;
+                return;
+              }
               // One protocol round's messages, however many members it
               // carried — the amortization batching exists for.
               stats_.commit_messages += messages;
-              pool_.Release(done_instance);
-              int64_t aborted_members = 0;
-              for (BatchMember& member : batch.members) {
-                // A cross-set joiner's padded kYes votes leave its own
-                // conjunction unchanged, so this test reads the member's
-                // real fate for every admission path.
-                commit::Decision member_decision =
-                    (decision == commit::Decision::kCommit &&
-                     commit::ConjoinVotes(member.votes) == commit::Vote::kYes)
-                        ? commit::Decision::kCommit
-                        : commit::Decision::kAbort;
-                if (member_decision != commit::Decision::kCommit) {
-                  ++aborted_members;
-                }
-                FinishTx(member.pending, member.touched, member_decision,
-                         member.started, finished);
+              if (resumed) {
+                // Replay determinism: a re-decided round must land on the
+                // unique failure-free decision its logged votes imply.
+                FC_CHECK(decision ==
+                         commit::DecideFromVotes(round.round_votes))
+                    << "recovery replay divergence: round " << round.id
+                    << " re-decided " << commit::ToString(decision)
+                    << " against its logged votes";
               }
-              if (AdaptiveEnabled()) {
-                // Feed the round's aborted-member share back into the
-                // set's controller (this effect runs in canonical order on
-                // the control plane, so the EWMA trajectory is placement
-                // invariant).
-                SetController& controller = controllers_[batch.partitions];
-                int64_t sample =
-                    1000 * aborted_members /
-                    static_cast<int64_t>(batch.members.size());
-                controller.ewma_conflict_permille =
-                    controller.rounds_observed == 0
-                        ? sample
-                        : (3 * controller.ewma_conflict_permille + sample) / 4;
-                ++controller.rounds_observed;
+              if (LogEnabled()) {
+                log_->RecordDecision(round.slot, decision, finished);
+                ScheduleReplication(round.slot, CommitLog::Phase::kDecide,
+                                    finished);
               }
+              if (MaybeCrashCoordinator(CrashPoint::kAfterDecide, finished)) {
+                // Decision logged (or lost with the unlogged round) but
+                // never delivered: recovery redoes or presumes abort.
+                return;
+              }
+              if (LogEnabled()) {
+                // Expose the decision only once it is durable: park the
+                // delivery on the slot's quorum. Durability of the accept
+                // phase is required too — a decision durable before its
+                // votes would let recovery re-decide from nothing.
+                int64_t slot = round.slot;
+                durable_waiters_[slot] = [this, round = std::move(round),
+                                          decision]() mutable {
+                  DeliverRoundDecision(round, decision, sim_.control()->Now());
+                };
+                MaybeCompleteSlot(slot);
+                return;
+              }
+              DeliverRoundDecision(round, decision, finished);
             });
       });
   instance->Start();
+}
+
+void Database::DeliverRoundDecision(RoundState& round,
+                                    commit::Decision decision,
+                                    sim::Time finished_at) {
+  int64_t aborted_members = 0;
+  for (BatchMember& member : round.members) {
+    // A cross-set joiner's padded kYes votes leave its own conjunction
+    // unchanged, so this test reads the member's real fate for every
+    // admission path (and an unbatched member's empty votes conjoin to
+    // kYes: the round's decision is its own).
+    commit::Decision member_decision =
+        (decision == commit::Decision::kCommit &&
+         commit::ConjoinVotes(member.votes) == commit::Vote::kYes)
+            ? commit::Decision::kCommit
+            : commit::Decision::kAbort;
+    if (member_decision != commit::Decision::kCommit) ++aborted_members;
+    FinishTx(member.pending, member.touched, member_decision, member.started,
+             finished_at);
+  }
+  if (round.from_batch && AdaptiveEnabled()) {
+    // Feed the round's aborted-member share back into the set's controller
+    // (this runs in canonical order on the control plane, so the EWMA
+    // trajectory is placement invariant).
+    SetController& controller = controllers_[round.partitions];
+    int64_t sample = 1000 * aborted_members /
+                     static_cast<int64_t>(round.members.size());
+    controller.ewma_conflict_permille =
+        controller.rounds_observed == 0
+            ? sample
+            : (3 * controller.ewma_conflict_permille + sample) / 4;
+    ++controller.rounds_observed;
+  }
+  if (LogEnabled() && round.slot >= 0) {
+    log_->MarkExecuted(round.slot);
+    log_->FreeSlots();
+  }
+  if (TrackingRounds()) rounds_.erase(round.id);
+}
+
+void Database::ScheduleReplication(int64_t slot, CommitLog::Phase phase,
+                                   sim::Time base) {
+  for (int r = 0; r < log_->replicas(); ++r) {
+    sim_.control()->ScheduleAt(
+        base + log_->AckDelay(slot, phase, r), sim::EventClass::kDelivery,
+        [this, slot, phase, r] { OnLogAck(slot, phase, r); });
+  }
+}
+
+void Database::OnLogAck(int64_t slot, CommitLog::Phase phase, int replica) {
+  switch (log_->OnReplicaAck(slot, phase, replica)) {
+    case CommitLog::AckOutcome::kFastQuorum:
+      if (log_->MarkDurable(slot, phase, /*fast_path=*/true)) {
+        MaybeCompleteSlot(slot);
+      }
+      break;
+    case CommitLog::AckOutcome::kSlowQuorum:
+      // Majority reached: the slow path commits the chosen record at the
+      // majority in one more round trip — unless unanimity lands first
+      // and the fast path wins the race (MarkDurable settles it).
+      sim_.control()->ScheduleAfter(
+          2 * options_.unit, sim::EventClass::kDelivery, [this, slot, phase] {
+            if (log_->MarkDurable(slot, phase, /*fast_path=*/false)) {
+              MaybeCompleteSlot(slot);
+            }
+          });
+      break;
+    case CommitLog::AckOutcome::kNoQuorum:
+    case CommitLog::AckOutcome::kStale:
+      break;
+  }
+}
+
+void Database::MaybeCompleteSlot(int64_t slot) {
+  // While down, waiters are gone (CrashCoordinator cleared them) and any
+  // straggling ack must not deliver anything: recovery redoes the slot.
+  if (down_) return;
+  auto it = durable_waiters_.find(slot);
+  if (it == durable_waiters_.end()) return;
+  const CommitLog::Slot* record = log_->Get(slot);
+  FC_CHECK(record != nullptr) << "durable waiter on freed slot " << slot;
+  if (!record->accept_durable || !record->decide_durable) return;
+  auto deliver = std::move(it->second);
+  durable_waiters_.erase(it);
+  deliver();
+}
+
+bool Database::MaybeCrashCoordinator(CrashPoint point, sim::Time at) {
+  if (crash_countdown_ <= 0 || options_.fault_plan.crash_point != point) {
+    return false;
+  }
+  if (--crash_countdown_ > 0) return false;
+  CrashCoordinator(at);
+  return true;
+}
+
+void Database::CrashCoordinator(sim::Time at) {
+  FC_CHECK(!down_) << "coordinator crashed while already down";
+  down_ = true;
+  crash_time_ = at;
+  ++coordinator_epoch_;
+  ++recovery_stats_.coordinator_crashes;
+  recovery_stats_.last_crash_time = at;
+  // Open batches are volatile coordinator state: their window timers die
+  // with the crash and their members become unlogged in-flight rounds for
+  // recovery's presumed-abort sweep.
+  for (auto& entry : open_batches_) {
+    Batch& batch = entry.second;
+    sim_.control()->Cancel(batch.timer);
+    RoundState round;
+    round.id = next_round_id_++;
+    round.partitions = std::move(batch.partitions);
+    round.members = std::move(batch.members);
+    rounds_.emplace(round.id, std::move(round));
+  }
+  open_batches_.clear();
+  // Parked delivery continuations are volatile too; their slots hold
+  // logged decisions, which recovery redoes from the log itself.
+  durable_waiters_.clear();
+  sim_.control()->ScheduleAt(
+      at + options_.fault_plan.coordinator_restart_delay,
+      sim::EventClass::kCrash, [this] { RecoverCoordinator(); });
+}
+
+void Database::RecoverCoordinator() {
+  FC_CHECK(down_) << "recovery of a live coordinator";
+  sim::Time now = sim_.control()->Now();
+  down_ = false;
+  ++recovery_stats_.recoveries;
+  recovery_stats_.last_restart_time = now;
+  recovery_stats_.unavailability_ticks += now - crash_time_;
+  // Replay the round table in formation order against the recovered log.
+  // Three classes: decision logged -> redo the finishes; votes logged but
+  // undecided -> re-decide through a fresh instance; nothing durable ->
+  // presumed abort, release locks, resubmit the members.
+  std::map<int64_t, RoundState> lost;
+  lost.swap(rounds_);
+  for (auto& entry : lost) {
+    RoundState& round = entry.second;
+    const CommitLog::Slot* slot =
+        round.slot >= 0 ? log_->Get(round.slot) : nullptr;
+    FC_CHECK(round.slot < 0 || slot != nullptr)
+        << "in-flight round " << round.id << " lost its log slot "
+        << round.slot;
+    if (slot != nullptr && slot->decision != commit::Decision::kNone) {
+      // Whether the decision's quorum completed is immaterial: the record
+      // survived in the recovered log, and nothing contradicting it was
+      // ever exposed.
+      commit::Decision decision = slot->decision;
+      ++recovery_stats_.redo_rounds;
+      DeliverRoundDecision(round, decision, now);
+    } else if (slot != nullptr) {
+      ++recovery_stats_.redecide_rounds;
+      StartRound(std::move(round), /*resumed=*/true);
+    } else {
+      ++recovery_stats_.presumed_aborts;
+      for (BatchMember& member : round.members) {
+        // Release whatever the member prepared (Finish is idempotent at
+        // participants that never prepared it), then re-execute with the
+        // same attempt number — the crash was not the member's conflict.
+        FinishPartitions(member.pending.tx.id, member.touched,
+                         commit::Decision::kAbort, now);
+        ++recovery_stats_.resubmissions;
+        Resubmit(std::move(member.pending), now);
+      }
+    }
+  }
+  if (log_ != nullptr) log_->FreeSlots();
+  // Re-execute everything that arrived during the outage, in arrival
+  // order, after the resubmissions above (same-instant control events run
+  // in insertion order).
+  std::vector<PendingTx> parked;
+  parked.swap(parked_);
+  for (PendingTx& pending : parked) Resubmit(std::move(pending), now);
+}
+
+void Database::Resubmit(PendingTx pending, sim::Time at) {
+  sim_.control()->ScheduleAt(at, sim::EventClass::kControl,
+                             [this, pending = std::move(pending)]() mutable {
+                               Execute(std::move(pending));
+                             });
 }
 
 void Database::FinishTx(const PendingTx& pending,
@@ -816,6 +1132,11 @@ const DatabaseStats& Database::Drain() {
       << "snapshot reads still pending after drain";
   FC_CHECK(active_snapshots_.empty())
       << "snapshot CSN claims leaked after drain";
+  FC_CHECK(!down_) << "coordinator still down after drain";
+  FC_CHECK(rounds_.empty()) << "in-flight rounds leaked after drain";
+  FC_CHECK(parked_.empty()) << "parked transactions leaked after drain";
+  FC_CHECK(durable_waiters_.empty())
+      << "decision-durability waiters leaked after drain";
   stats_.makespan = sim_.Now();
   return stats_;
 }

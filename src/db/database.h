@@ -1,6 +1,7 @@
 #ifndef FASTCOMMIT_DB_DATABASE_H_
 #define FASTCOMMIT_DB_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -11,7 +12,9 @@
 
 #include "core/protocol_kind.h"
 #include "core/runner.h"
+#include "db/commit_log.h"
 #include "db/coordinator.h"
+#include "db/fault_plan.h"
 #include "db/instance_pool.h"
 #include "db/participant.h"
 #include "db/partition_plane.h"
@@ -315,6 +318,28 @@ class Database {
     /// bitwise identical either way and across every shard/thread
     /// placement (tests/db_placement_fuzz_test.cc).
     bool partition_parallel = true;
+    /// Replicated coordinator commit log (db/commit_log.h): every
+    /// multi-partition round is appended as one slot whose votes replicate
+    /// to this many virtual replicas (accept phase), and the decision
+    /// replicates the same way (decide phase). A phase is durable on
+    /// fast-path unanimity or slow-path majority + two extra delays,
+    /// whichever fires first; commits are exposed to clients only once the
+    /// decision is durable, which is what makes every exposed commit
+    /// survive a coordinator crash. Replication overlaps the commit
+    /// protocol itself (the accept phase races the instance's own message
+    /// delays), so the crash-free latency cost is the decide-phase quorum
+    /// wait. 0 (the default) disables the log entirely — no slots, no ack
+    /// events, no extra delays — and every pre-existing stat is bitwise
+    /// unchanged. Ack delays draw from a stateless per-(slot, phase,
+    /// replica) stream, never the database's main RNG.
+    int log_replicas = 0;
+    /// Deterministic fault injection (db/fault_plan.h): at most one
+    /// coordinator crash at a chosen protocol step plus one timed
+    /// participant crash, both driven by sim events at canonical
+    /// control-plane points — so a crash schedule, like everything else,
+    /// is bitwise identical across shard/thread placements. Default
+    /// (empty plan) injects nothing and changes nothing.
+    FaultPlan fault_plan;
     /// Debug: sweep lock-manager and staging invariants over every
     /// partition at each partition-plane flush barrier (see
     /// Participant::CheckInvariants). O(held locks) per barrier; meant
@@ -365,6 +390,58 @@ class Database {
              merge_absorbed == other.merge_absorbed;
     }
     bool operator!=(const BatchStats& other) const {
+      return !(*this == other);
+    }
+  };
+
+  /// Counters of the fault-injection / recovery plane (all zero with an
+  /// empty Options::fault_plan). Outside DatabaseStats for the same reason
+  /// as BatchStats: the determinism gates compare DatabaseStats across
+  /// configurations where these describe machinery, not workload outcomes.
+  /// They are themselves placement-invariant and the recovery tests compare
+  /// them bitwise across placements.
+  struct RecoveryStats {
+    int64_t coordinator_crashes = 0;
+    int64_t recoveries = 0;
+    int64_t participant_crashes = 0;
+    int64_t participant_restarts = 0;
+    /// Recovery replay classification of the rounds in flight at the crash:
+    /// decision found in the log -> finishes redone; votes logged but no
+    /// decision -> re-decided through a fresh instance (FC_CHECKed against
+    /// commit::DecideFromVotes); nothing durable -> presumed abort.
+    int64_t redo_rounds = 0;
+    int64_t redecide_rounds = 0;
+    int64_t presumed_aborts = 0;
+    /// Presumed-abort members resubmitted at recovery (same attempt number:
+    /// a coordinator crash is not the transaction's fault).
+    int64_t resubmissions = 0;
+    /// Submissions/retries that arrived while the coordinator was down and
+    /// were parked until recovery.
+    int64_t parked = 0;
+    /// Protocol messages of rounds that decided into a dead coordinator
+    /// epoch (their instances ran to completion, but nobody was listening).
+    int64_t lost_round_messages = 0;
+    sim::Time last_crash_time = 0;
+    sim::Time last_restart_time = 0;
+    /// Total virtual time the coordinator was down (the unavailability
+    /// window bench_db_recovery gates).
+    sim::Time unavailability_ticks = 0;
+
+    bool operator==(const RecoveryStats& other) const {
+      return coordinator_crashes == other.coordinator_crashes &&
+             recoveries == other.recoveries &&
+             participant_crashes == other.participant_crashes &&
+             participant_restarts == other.participant_restarts &&
+             redo_rounds == other.redo_rounds &&
+             redecide_rounds == other.redecide_rounds &&
+             presumed_aborts == other.presumed_aborts &&
+             resubmissions == other.resubmissions && parked == other.parked &&
+             lost_round_messages == other.lost_round_messages &&
+             last_crash_time == other.last_crash_time &&
+             last_restart_time == other.last_restart_time &&
+             unavailability_ticks == other.unavailability_ticks;
+    }
+    bool operator!=(const RecoveryStats& other) const {
       return !(*this == other);
     }
   };
@@ -474,6 +551,13 @@ class Database {
   /// proof let its Execute proceed on predicted kYes votes. Execution
   /// machinery, outside DatabaseStats.
   int64_t lookahead_skips() const { return lookahead_skips_; }
+  /// Fault-injection / recovery counters (see RecoveryStats); all zero
+  /// with an empty fault plan.
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  /// The replicated coordinator log, or nullptr when Options::log_replicas
+  /// is 0. Watermarks and CommitLog::Stats (fast/slow path decisions,
+  /// live-slot high-water mark) for the recovery tests and bench.
+  const CommitLog* commit_log() const { return log_.get(); }
   sim::Time Now() const { return sim_.Now(); }
 
  private:
@@ -496,6 +580,14 @@ class Database {
     /// op index -> index into `values` of its partition's slot, for
     /// reassembling the results in op order at finalization.
     std::vector<int> op_slots;
+    /// Slots filled so far, bumped by the plane's drain workers (atomic:
+    /// one read spans partitions, hence threads). Finalization takes the
+    /// longest fully-filled *prefix* of pending_reads_, so a crashed
+    /// partition deferring its reads keeps later reads pending too and the
+    /// submit-order fingerprint is preserved. With no participant crash
+    /// every slot fills by the barrier and this equals the old
+    /// finalize-everything behavior exactly.
+    std::atomic<int> filled{0};
   };
 
   /// One prepared transaction waiting in a batch. `votes` is aligned with
@@ -527,6 +619,25 @@ class Database {
     /// deadline to the minimum over everything it absorbed, so merging
     /// never delays a member past the flush its original batch promised.
     sim::Time deadline = 0;
+  };
+
+  /// One multi-partition commit round — the unit the unbatched path, the
+  /// batching path, and recovery replay now share (StartRound). `id` is
+  /// the round-table key (monotonic, so recovery replays rounds in the
+  /// order they formed); `slot` the commit-log slot (-1 when unlogged:
+  /// log off, or a crash-interrupted Execute whose round never formed).
+  /// `round_votes` is the per-position disjunction over the members'
+  /// aligned votes — for a single-member round, the member's own votes.
+  /// A member's `votes` may be empty on the unbatched path (conjunction
+  /// kYes), where the round's decision alone settles its fate, exactly as
+  /// before the refactor.
+  struct RoundState {
+    int64_t id = 0;
+    int64_t slot = -1;
+    std::vector<int> partitions;
+    std::vector<commit::Vote> round_votes;
+    std::vector<BatchMember> members;
+    bool from_batch = false;  ///< adaptive-controller feedback is batch-only
   };
 
   /// Adaptive window controller of one partition set (Options::
@@ -614,6 +725,55 @@ class Database {
   /// pooled instance on the lead member's shard, per-member decisions at
   /// the decide instant.
   void FlushBatch(Batch batch);
+  /// Runs one commit round: appends it to the commit log (when on), starts
+  /// a pooled instance on the lead member's shard, and — through the
+  /// epoch-fenced completion effect — logs the decision, gates delivery on
+  /// decision durability, and delivers per-member fates. The single path
+  /// the unbatched Execute, FlushBatch, and recovery's re-decide
+  /// (`resumed`, which reuses the already-logged slot and FC_CHECKs the
+  /// replayed decision against commit::DecideFromVotes) converge on. With
+  /// the log off and no crash planned this is byte-for-byte the old
+  /// unbatched/FlushBatch completion flow.
+  void StartRound(RoundState round, bool resumed);
+  /// Delivers a decided round: per-member fate (round decision AND the
+  /// member's own vote conjunction), FinishTx at `finished_at`, adaptive
+  /// conflict feedback for batch rounds, round-table erase, log
+  /// slot-executed + GC.
+  void DeliverRoundDecision(RoundState& round, commit::Decision decision,
+                            sim::Time finished_at);
+  bool LogEnabled() const { return options_.log_replicas > 0; }
+  /// Round-table tracking is only paid when a coordinator crash is
+  /// planned (the table exists so recovery knows what was in flight).
+  bool TrackingRounds() const {
+    return options_.fault_plan.HasCoordinatorCrash();
+  }
+  /// Schedules one ack event per virtual replica for `phase` of `slot`,
+  /// at `base` + the log's stateless per-replica delay (every delay >=
+  /// unit, which the lowered simulator lookahead relies on — `base` may
+  /// be an effect instant).
+  void ScheduleReplication(int64_t slot, CommitLog::Phase phase,
+                           sim::Time base);
+  /// Feeds one replica ack: fast-path unanimity marks the phase durable
+  /// immediately; the first majority arms the slow path (durable two
+  /// units later unless the fast path wins the race).
+  void OnLogAck(int64_t slot, CommitLog::Phase phase, int replica);
+  /// Runs `slot`'s parked delivery continuation once both phases are
+  /// durable (and the coordinator is up).
+  void MaybeCompleteSlot(int64_t slot);
+  /// Fires the planned coordinator crash if `point` is its armed protocol
+  /// step and this is the configured passage. Returns true when the crash
+  /// fired (the caller must drop its round on the floor — that is the
+  /// crash).
+  bool MaybeCrashCoordinator(CrashPoint point, sim::Time at);
+  void CrashCoordinator(sim::Time at);
+  /// The restart event: replays the round table against the log (redo /
+  /// re-decide / presumed abort), releases presumed-abort locks, resubmits
+  /// their members, and re-executes everything parked during the outage.
+  void RecoverCoordinator();
+  /// Schedules `pending` for a fresh Execute at `at` (recovery resubmit /
+  /// unpark; keeps the attempt number — a coordinator crash is not the
+  /// transaction's fault).
+  void Resubmit(PendingTx pending, sim::Time at);
   /// `finished_at` is the commit instance's decide instant (== `started`
   /// for single-partition transactions); all stats and the retry schedule
   /// derive from it, not from any queue's transient clock.
@@ -622,9 +782,13 @@ class Database {
                 commit::Decision decision, sim::Time started,
                 sim::Time finished_at);
   /// Conflict-aware lookahead is sound only where prepares run through
-  /// the plane's FIFO queues (the inline path has no barriers to skip).
+  /// the plane's FIFO queues (the inline path has no barriers to skip) —
+  /// and never when a participant crash is planned: a down partition
+  /// answers prepares with kNo whatever the keys, so no disjointness
+  /// proof can predict kYes.
   bool LookaheadEnabled() const {
-    return options_.conflict_lookahead && options_.partition_parallel;
+    return options_.conflict_lookahead && options_.partition_parallel &&
+           !options_.fault_plan.HasParticipantCrash();
   }
   /// Drops `tx`'s key hashes from the lookahead tracker. Called when its
   /// Finish is *enqueued* — sound because a finish enqueued at time F
@@ -680,6 +844,31 @@ class Database {
   uint64_t read_fingerprint_ = 14695981039346656037ULL;  ///< FNV offset
   std::vector<Value> values_scratch_;   ///< reused finalize reassembly
   std::vector<size_t> cursor_scratch_;  ///< reused per-slot read cursors
+  /// Replicated coordinator log (Options::log_replicas > 0), else null.
+  std::unique_ptr<CommitLog> log_;
+  RecoveryStats recovery_stats_;
+  /// Coordinator liveness. While down, Execute parks submissions and
+  /// retries in parked_ (arrival order) and completion effects of rounds
+  /// started in an older epoch release their instance and nothing else.
+  bool down_ = false;
+  int64_t coordinator_epoch_ = 0;
+  sim::Time crash_time_ = 0;
+  /// Passages of the armed crash point remaining before the crash fires;
+  /// 0 = disarmed (no crash planned, or already fired).
+  int64_t crash_countdown_ = 0;
+  /// In-flight round table, populated only when a coordinator crash is
+  /// planned (TrackingRounds): round id -> the state recovery needs to
+  /// replay it. Erased when the round's decision is delivered.
+  std::map<int64_t, RoundState> rounds_;
+  int64_t next_round_id_ = 1;
+  /// Submissions/retries that arrived while down, re-executed at recovery
+  /// in arrival order.
+  std::vector<PendingTx> parked_;
+  /// Decided logged rounds parked until their decision quorum lands,
+  /// keyed by slot: MaybeCompleteSlot runs the continuation once both
+  /// phases are durable. Volatile coordinator state — a crash clears it
+  /// (recovery redoes those slots from the log instead).
+  std::map<int64_t, std::function<void()>> durable_waiters_;
 };
 
 }  // namespace fastcommit::db

@@ -123,7 +123,8 @@ void PartitionPlane::EnqueueFinish(int partition, sim::Time at, TxId tx,
 void PartitionPlane::EnqueueSnapshotRead(int partition, sim::Time at, TxId tx,
                                          int64_t snapshot_csn,
                                          std::vector<Op> ops,
-                                         std::vector<Value>* values_out) {
+                                         std::vector<Value>* values_out,
+                                         std::atomic<int>* read_done) {
   FC_CHECK(values_out != nullptr) << "snapshot read task needs a value slot";
   PartitionQueue& q = queue(partition);
   FC_CHECK(at >= q.last_enqueued_at)
@@ -132,13 +133,72 @@ void PartitionPlane::EnqueueSnapshotRead(int partition, sim::Time at, TxId tx,
   q.last_enqueued_at = at;
   Touch(partition);
   q.tasks.push_back(Task{TaskKind::kSnapshotRead, tx, commit::Decision::kNone,
-                         snapshot_csn, 0, nullptr, values_out,
-                         std::move(ops)});
+                         snapshot_csn, 0, nullptr, values_out, std::move(ops),
+                         read_done});
   ++pending_tasks_;
+}
+
+void PartitionPlane::CrashPartition(int partition) {
+  PartitionQueue& q = queue(partition);
+  FC_CHECK(!q.down) << "partition " << partition << " crashed twice";
+  q.down = true;
+}
+
+void PartitionPlane::RestartPartition(int partition) {
+  PartitionQueue& q = queue(partition);
+  FC_CHECK(q.down) << "restarting partition " << partition
+                   << " that is not down";
+  q.down = false;
+  if (q.deferred.empty()) return;
+  // The deferred tasks are older than anything enqueued since the crash:
+  // prepend them so the queue replays the pre-crash FIFO order.
+  if (q.tasks.empty()) dirty_.push_back(partition);
+  q.tasks.insert(q.tasks.begin(),
+                 std::make_move_iterator(q.deferred.begin()),
+                 std::make_move_iterator(q.deferred.end()));
+  pending_tasks_ += static_cast<int64_t>(q.deferred.size());
+  q.deferred.clear();
+}
+
+int64_t PartitionPlane::deferred_tasks_total() const {
+  int64_t total = 0;
+  for (const PartitionQueue& q : queues_) total += q.deferred_total;
+  return total;
+}
+
+int64_t PartitionPlane::down_vote_noes() const {
+  int64_t total = 0;
+  for (const PartitionQueue& q : queues_) total += q.down_noes;
+  return total;
 }
 
 void PartitionPlane::DrainQueue(PartitionQueue& q) {
   for (Task& task : q.tasks) {
+    if (q.down) {
+      switch (task.kind) {
+        case TaskKind::kPrepare:
+          // A crashed participant cannot acquire locks: the no-wait answer
+          // is a kNo vote, written by the plane itself — Prepare never
+          // runs, so prepares() does not count it.
+          *task.vote_out = commit::Vote::kNo;
+          ++q.down_noes;
+          continue;
+        case TaskKind::kPredictedPrepare:
+          // Lookahead is disabled whenever a participant crash is planned
+          // (Database ctor): a predicted-kYes task at a down partition
+          // could only mean that gate was bypassed.
+          FC_FAIL() << "predicted prepare drained at a down partition";
+          continue;
+        case TaskKind::kFinish:
+        case TaskKind::kSnapshotRead:
+          // Crash holding locks: the finish (and any read behind it in
+          // the FIFO) waits out the downtime, replaying at the barrier
+          // after restart.
+          q.deferred.push_back(std::move(task));
+          ++q.deferred_total;
+          continue;
+      }
+    }
     switch (task.kind) {
       case TaskKind::kPrepare:
         *task.vote_out = q.participant->Prepare(task.tx, task.ops);
@@ -156,6 +216,9 @@ void PartitionPlane::DrainQueue(PartitionQueue& q) {
         break;
       case TaskKind::kSnapshotRead:
         q.participant->ReadAtSnapshot(task.csn, task.ops, task.values_out);
+        if (task.read_done != nullptr) {
+          task.read_done->fetch_add(1, std::memory_order_release);
+        }
         break;
     }
   }

@@ -1,6 +1,7 @@
 #ifndef FASTCOMMIT_DB_PARTITION_PLANE_H_
 #define FASTCOMMIT_DB_PARTITION_PLANE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -111,11 +112,36 @@ class PartitionPlane {
   /// commit with CSN <= `snapshot_csn` was enqueued earlier, so its writes
   /// apply before the read runs — no locks, no votes, no barrier of its
   /// own.
+  /// `read_done` (optional) is bumped once when the read executes — the
+  /// database's filled-slot counter for prefix finalization, needed
+  /// because a crashed partition defers its reads past the next barrier.
+  /// Atomic: one read's slots span partitions, hence worker threads.
   void EnqueueSnapshotRead(int partition, sim::Time at, TxId tx,
                            int64_t snapshot_csn, std::vector<Op> ops,
-                           std::vector<Value>* values_out);
+                           std::vector<Value>* values_out,
+                           std::atomic<int>* read_done = nullptr);
 
   bool has_pending() const { return pending_tasks_ > 0; }
+
+  /// Fault injection (Options::fault_plan): takes `partition` down. Queued
+  /// and future finishes / snapshot reads are deferred in FIFO order — the
+  /// partition crashes *holding its locks* — and prepares draining while
+  /// down vote kNo without reaching the Participant (the no-wait analogue
+  /// of an unreachable host). Control-plane only; never during a Flush.
+  void CrashPartition(int partition);
+
+  /// Brings `partition` back: deferred tasks are prepended to the queue
+  /// (they are the oldest work) and apply at the next barrier.
+  void RestartPartition(int partition);
+
+  bool partition_down(int partition) const {
+    return queues_[static_cast<size_t>(partition)].down;
+  }
+  /// Tasks ever deferred by down partitions / prepares refused while down,
+  /// summed over partitions. Machinery counters, not part of stats
+  /// equality (per-queue, so worker drains never contend).
+  int64_t deferred_tasks_total() const;
+  int64_t down_vote_noes() const;
 
   /// Drains every queue to empty. `sim` non-null runs home-shard groups
   /// through its worker pool (ParallelFor); null drains inline in group
@@ -152,6 +178,7 @@ class PartitionPlane {
     commit::Vote* vote_out = nullptr;
     std::vector<Value>* values_out = nullptr;  ///< kSnapshotRead only
     std::vector<Op> ops;
+    std::atomic<int>* read_done = nullptr;  ///< kSnapshotRead only
   };
 
   struct PartitionQueue {
@@ -160,6 +187,13 @@ class PartitionPlane {
     /// Canonical-order guard: enqueue times per queue never decrease
     /// (the control plane issues tasks in merged virtual-time order).
     sim::Time last_enqueued_at = 0;
+    /// Fault injection: while down, drains defer finishes/reads here (FIFO)
+    /// and answer prepares with kNo. Only the draining worker and the
+    /// control plane (between flushes) touch these.
+    bool down = false;
+    std::vector<Task> deferred;
+    int64_t deferred_total = 0;
+    int64_t down_noes = 0;
   };
 
   /// Worker dispatch pays a wake + join round trip (~microseconds);

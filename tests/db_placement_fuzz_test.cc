@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "db/database.h"
+#include "db/fault_plan.h"
 #include "db/traffic.h"
 #include "db/workload.h"
 #include "sim/rng.h"
@@ -62,6 +63,12 @@ struct FuzzConfig {
   /// fingerprint when the plane is on).
   bool snapshot_reads = false;
   double read_fraction = 0.0;
+  /// Fault-injection dims (configuration, not placement): the replicated
+  /// commit log and a planned coordinator and/or participant crash. Each
+  /// drawn plan must replay bitwise-identically across placements — the
+  /// crash instant, the recovery composition, everything.
+  int log_replicas = 0;
+  FaultPlan fault_plan;
   uint64_t seed = 1;
 
   std::string Describe() const {
@@ -82,7 +89,18 @@ struct FuzzConfig {
           << " max_inflight=" << max_inflight
           << " read_fraction=" << read_fraction;
     }
-    out << " snapshot=" << snapshot_reads << " seed=" << seed;
+    out << " snapshot=" << snapshot_reads << " log=" << log_replicas;
+    if (fault_plan.HasCoordinatorCrash()) {
+      out << " crash=" << ToString(fault_plan.crash_point) << "@"
+          << fault_plan.crash_at_occurrence
+          << " restart=" << fault_plan.coordinator_restart_delay;
+    }
+    if (fault_plan.HasParticipantCrash()) {
+      out << " part_crash=" << fault_plan.crash_partition << "@"
+          << fault_plan.participant_crash_at << "+"
+          << fault_plan.participant_restart_delay;
+    }
+    out << " seed=" << seed;
     return out.str();
   }
 };
@@ -165,6 +183,35 @@ FuzzConfig DrawConfig(sim::Rng& rng) {
   config.concurrency =
       rng.Chance(0.4) ? ConcurrencyMode::kOCC : ConcurrencyMode::k2PL;
   config.seed = rng.Next();
+  // Fault dims ride at the end of the draw so every earlier dimension
+  // keeps its value for a given base seed across test revisions.
+  const int kReplicaChoices[] = {0, 3, 5};
+  config.log_replicas = kReplicaChoices[rng.Next() % 3];
+  if (rng.Chance(0.35)) {
+    const CrashPoint kPoints[] = {CrashPoint::kAfterPrepare,
+                                  CrashPoint::kAfterAccept,
+                                  CrashPoint::kAfterDecide};
+    CrashPoint point = kPoints[rng.Next() % 3];
+    // crash-after-accept appends to the log first; without replicas the
+    // nearest legal point is after-decide (decision dies unlogged).
+    if (point == CrashPoint::kAfterAccept && config.log_replicas == 0) {
+      point = CrashPoint::kAfterDecide;
+    }
+    config.fault_plan.crash_point = point;
+    config.fault_plan.crash_at_occurrence =
+        static_cast<int64_t>(rng.UniformInt(1, 16));
+    // >= 401 = unit * retry_backoff_units + 1, the simulator lookahead the
+    // Database ctor checks restart delays against (log off is the binding
+    // case).
+    config.fault_plan.coordinator_restart_delay =
+        401 + 100 * rng.UniformInt(0, 12);
+  }
+  if (rng.Chance(0.3)) {
+    config.fault_plan.crash_partition = static_cast<int>(
+        rng.Next() % static_cast<uint64_t>(config.num_partitions));
+    config.fault_plan.participant_crash_at = 100 * rng.UniformInt(0, 30);
+    config.fault_plan.participant_restart_delay = 100 * rng.UniformInt(5, 25);
+  }
   return config;
 }
 
@@ -205,6 +252,9 @@ struct RunResult {
   /// Snapshot read *results* folded in submit order — placement-invariant
   /// like the stats whenever the plane is on (FNV offset basis when off).
   uint64_t read_fingerprint = 0;
+  /// Crash/recovery counters — the replayed schedule itself must be
+  /// placement-invariant, not just the workload outcomes.
+  Database::RecoveryStats recovery;
 };
 
 RunResult RunOne(const FuzzConfig& config, const Placement& placement) {
@@ -222,9 +272,17 @@ RunResult RunOne(const FuzzConfig& config, const Placement& placement) {
   options.max_inflight = config.max_inflight;
   options.concurrency = config.concurrency;
   options.snapshot_reads = config.snapshot_reads;
+  options.log_replicas = config.log_replicas;
+  options.fault_plan = config.fault_plan;
   options.num_shards = placement.num_shards;
   options.num_threads = placement.num_threads;
   options.partition_parallel = placement.partition_parallel;
+  // A participant crash needs partition queues to defer work in, so that
+  // dim pins the plane on for every placement (including the serial
+  // reference — the identity gate then spans shard/thread counts only).
+  if (config.fault_plan.HasParticipantCrash()) {
+    options.partition_parallel = true;
+  }
   options.conflict_lookahead = placement.conflict_lookahead;
   // Cheap extra teeth: every flush barrier sweeps the per-partition lock
   // (or, under OCC, version-table) invariants — only observed on the
@@ -248,6 +306,7 @@ RunResult RunOne(const FuzzConfig& config, const Placement& placement) {
   }
   result.batch = database.batch_stats();
   result.read_fingerprint = database.read_fingerprint();
+  result.recovery = database.recovery_stats();
   return result;
 }
 
@@ -297,6 +356,8 @@ TEST(PlacementFuzzTest, StatsIdenticalAcrossRandomPlacements) {
       EXPECT_EQ(reference.stats, run.stats);
       EXPECT_EQ(reference.batch, run.batch);
       EXPECT_EQ(reference.read_fingerprint, run.read_fingerprint);
+      EXPECT_TRUE(reference.recovery == run.recovery)
+          << "recovery replay diverged across placements";
       if (reference.stats != run.stats || reference.batch != run.batch) {
         // One divergence pins the config; more placements of the same
         // config would only repeat the noise.

@@ -2,8 +2,8 @@
 """Gate bench JSON output against the checked-in baseline.
 
 The db benches (`bench_db_throughput`, `bench_db_sharded`,
-`bench_db_batching`, `bench_db_openloop`, `bench_db_readmix`) emit
-machine-readable results via `--json <path>`.
+`bench_db_batching`, `bench_db_openloop`, `bench_db_readmix`,
+`bench_db_recovery`) emit machine-readable results via `--json <path>`.
 This script compares one or more of those documents against
 `BENCH_baseline.json` and fails (exit 1) when a *simulated* metric
 regresses by more than the tolerance — simulated metrics are
@@ -13,7 +13,8 @@ report-only.
 
 Gated (lower is better): msgs_per_commit, mean_latency_ticks,
 p99_latency_ticks, write_p99_latency_ticks, makespan_ticks,
-barrier_flushes. Gated (higher is better): occupancy, commits_per_tick,
+barrier_flushes, unavailability_ticks, outage_commit_gap_ticks,
+recovery_ticks. Gated (higher is better): occupancy, commits_per_tick,
 achieved_over_offered, occ_speedup_vs_2pl, reads_per_tick,
 read_speedup_vs_locked. A row key
 present in the baseline but missing from the current run also fails —
@@ -35,12 +36,14 @@ import sys
 TOLERANCE = 0.05  # >5% regression fails
 LOWER_IS_BETTER = ("msgs_per_commit", "mean_latency_ticks",
                    "p99_latency_ticks", "write_p99_latency_ticks",
-                   "makespan_ticks", "barrier_flushes")
+                   "makespan_ticks", "barrier_flushes",
+                   "unavailability_ticks", "outage_commit_gap_ticks",
+                   "recovery_ticks")
 HIGHER_IS_BETTER = ("occupancy", "commits_per_tick", "achieved_over_offered",
                     "occ_speedup_vs_2pl", "reads_per_tick",
                     "read_speedup_vs_locked")
 REPORT_ONLY = ("wall_seconds", "txs_per_second", "speedup_vs_single_queue",
-               "committed_per_sec_wall")
+               "committed_per_sec_wall", "fast_path_rate")
 
 
 def validate_doc(doc, source):
@@ -108,10 +111,15 @@ def compare(baseline_doc, current_doc):
                     "from the bench output")
                 continue
             b, c = float(base[metric]), float(cur[metric])
+            # The tolerance band scales with the magnitude, not the signed
+            # value: a baseline of -1400 (outage_commit_gap_ticks can be
+            # negative when the crashed run drains sooner than the
+            # baseline) must tolerate -1400 again, not demand <= -1470.
+            margin = abs(b) * TOLERANCE + 1e-9
             if metric in LOWER_IS_BETTER:
-                regressed = c > b * (1 + TOLERANCE) + 1e-9
+                regressed = c > b + margin
             else:
-                regressed = c < b * (1 - TOLERANCE) - 1e-9
+                regressed = c < b - margin
             if regressed:
                 failures.append(
                     f"{bench}/{key}: {metric} {b:g} -> {c:g} "

@@ -165,6 +165,55 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("barrier_flushes", err)
 
+    def test_unavailability_regression_fails(self):
+        rows = [{"key": "inbac/crash=after-decide",
+                 "unavailability_ticks": 6000, "recovery_ticks": 6000}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], unavailability_ticks=7000)])
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("unavailability_ticks", err)
+
+    def test_recovery_ticks_regression_fails(self):
+        rows = [{"key": "inbac/crash=after-accept", "recovery_ticks": 6000}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], recovery_ticks=6500)])  # +8%
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("recovery_ticks", err)
+
+    def test_negative_gap_baseline_tolerates_identical_rerun(self):
+        # outage_commit_gap_ticks is signed: a crashed run can drain
+        # *sooner* than the crash-free baseline. The tolerance band must
+        # scale with |baseline|, or an identical rerun of a negative
+        # baseline would read as a regression.
+        rows = [{"key": "inbac/crash=after-prepare",
+                 "outage_commit_gap_ticks": -1406}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        cur = self.write("cur.json", make_doc(rows=[dict(rows[0])]))
+        self.assertEqual(self.run_main(["--baseline", base, cur])[0], 0)
+
+    def test_negative_gap_real_regression_fails(self):
+        rows = [{"key": "inbac/crash=after-prepare",
+                 "outage_commit_gap_ticks": -1406}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], outage_commit_gap_ticks=2000)])
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("outage_commit_gap_ticks", err)
+
+    def test_fast_path_rate_is_report_only(self):
+        rows = [{"key": "inbac/baseline/log=3", "fast_path_rate": 0.59}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], fast_path_rate=0.2)])
+        cur = self.write("cur.json", doc)
+        code, out, _ = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 0)
+        self.assertIn("report-only", out)
+
     def test_committed_per_sec_wall_is_report_only(self):
         rows = [{"key": "inbac/openloop", "committed_per_sec_wall": 50000.0}]
         base = self.write_baseline("base.json", [make_doc(rows=rows)])

@@ -1,59 +1,84 @@
-#!/usr/bin/env bash
-# CI entry point: configure, build, and run the tier-1 test suite.
+#!/bin/sh
+# CI entry point: configure, build, and run the tier-1 test suite plus the
+# reduced-scale bench gates. Plain POSIX sh — runs under dash, busybox ash,
+# or bash alike, so a thin container without bash can still run the gate.
 #
 # Usage:
-#   tools/check.sh            # plain RelWithDebInfo build + ctest
+#   tools/check.sh            # plain RelWithDebInfo build + ctest + gates
 #   tools/check.sh --asan     # additionally build & test with
 #                             # -DFASTCOMMIT_SANITIZE=address
-set -euo pipefail
+#
+# Every gate announces itself and names itself again on failure, so a red
+# CI log says *which* invariant broke without scrolling for the first
+# non-zero exit.
+set -eu
 
 cd "$(dirname "$0")/.."
 
-run_suite() {
-  local build_dir="$1"
+# gate <name> <cmd...>: run one labelled gate, fail loudly with its name.
+gate() {
+  gate_name="$1"
   shift
-  cmake -B "$build_dir" -S . "$@"
-  cmake --build "$build_dir" -j "$(nproc)"
+  echo "[check.sh gate] $gate_name"
+  if ! "$@"; then
+    echo "check.sh: gate FAILED: $gate_name" >&2
+    exit 1
+  fi
+}
+
+run_suite() {
+  suite_dir="$1"
+  shift
+  gate "configure ($suite_dir)" cmake -B "$suite_dir" -S . "$@"
+  gate "build ($suite_dir)" cmake --build "$suite_dir" -j "$(nproc)"
   # --no-tests=error: a build where the test targets were silently skipped
   # (e.g., GTest missing) must fail, not report a green zero-test run.
-  ctest --test-dir "$build_dir" --output-on-failure --no-tests=error \
-    -j "$(nproc)"
+  gate "ctest ($suite_dir)" ctest --test-dir "$suite_dir" \
+    --output-on-failure --no-tests=error -j "$(nproc)"
 }
 
 run_suite build
-
-# The perf-gate tool has its own unit suite (regression detection, --merge
-# refresh, malformed-input handling) — cheap, so it runs in every mode.
-python3 tools/bench_compare_test.py
 
 # Batching determinism gate at reduced scale: bench_db_batching exits
 # nonzero if DatabaseStats or BatchStats diverge between the serial
 # reference and a sharded/threaded prepare-on-shard placement for any
 # batching window, or if batching stops reducing per-commit messages.
 # (CI reruns it, plus the other bench gates, at 20k transactions.)
-./build/bench_db_batching --txs 4000
+gate "batching determinism (bench_db_batching --txs 4000)" \
+  ./build/bench_db_batching --txs 4000
 
-# Open-loop determinism + saturation gate at reduced scale:
-# bench_db_openloop exits nonzero if any arrival stream's stats diverge
-# across placements, an uncapped Poisson stream falls under 95% of
-# offered load, the saturated row stops shedding, or conflict lookahead
-# drifts a simulated metric / stops skipping barriers.
-./build/bench_db_openloop --txs 4000
+# Open-loop determinism + saturation gate at reduced scale: nonzero if any
+# arrival stream's stats diverge across placements, an uncapped Poisson
+# stream falls under 95% of offered load, the saturated row stops
+# shedding, or conflict lookahead drifts a simulated metric / stops
+# skipping barriers.
+gate "open-loop traffic (bench_db_openloop --txs 4000)" \
+  ./build/bench_db_openloop --txs 4000
 
-# 2PL-vs-OCC ablation gate at reduced scale: exits nonzero if OCC stops
-# clearing its goodput floor on the gated read-heavy low-conflict row, or
-# if OCC stats diverge across shard/thread/lookahead placements.
-./build/bench_db_throughput --txs 4000 --ablation-only
+# 2PL-vs-OCC ablation gate at reduced scale: nonzero if OCC stops clearing
+# its goodput floor on the gated read-heavy low-conflict row, or if OCC
+# stats diverge across shard/thread/lookahead placements.
+gate "2PL-vs-OCC ablation (bench_db_throughput --txs 4000)" \
+  ./build/bench_db_throughput --txs 4000 --ablation-only
 
-# Snapshot-read-plane gate at reduced scale: bench_db_readmix exits
-# nonzero if the snapshot plane stops serving >= 2x the locked path's
-# reads/tick at read fraction 0.99, turning snapshot reads on regresses
-# the write p99 at any read fraction, a read-only transaction leaks onto
-# the locked path, the concurrent scan stream stops being fully served,
-# or stats / read fingerprints diverge across placements.
-./build/bench_db_readmix --txs 4000
+# Snapshot-read-plane gate at reduced scale: nonzero if the snapshot plane
+# stops serving >= 2x the locked path's reads/tick at read fraction 0.99,
+# turning snapshot reads on regresses the write p99, a read-only
+# transaction leaks onto the locked path, the concurrent scan stream stops
+# being fully served, or stats / read fingerprints diverge across
+# placements.
+gate "snapshot read mix (bench_db_readmix --txs 4000)" \
+  ./build/bench_db_readmix --txs 4000
 
-if [[ "${1:-}" == "--asan" ]]; then
+# Crash-recovery gate at reduced scale: nonzero if a committed transaction
+# is lost across any coordinator crash point (per-key ledger conservation),
+# the crash replay diverges across placements, the unavailability window
+# exceeds the planned restart delay, or the commit log's fast/slow quorum
+# split collapses to one path.
+gate "crash recovery (bench_db_recovery --txs 4000)" \
+  ./build/bench_db_recovery --txs 4000
+
+if [ "${1:-}" = "--asan" ]; then
   run_suite build-asan -DFASTCOMMIT_SANITIZE=address
 fi
 
