@@ -13,7 +13,7 @@ CommitInstance::CommitInstance(sim::Scheduler* scheduler,
                                core::ConsensusKind consensus,
                                const core::ProtocolOptions& protocol_options,
                                sim::Time unit, std::vector<commit::Vote> votes,
-                               DoneCallback done)
+                               DoneCallback done, net::GeoTopology topology)
     : scheduler_(scheduler),
       n_(static_cast<int>(votes.size())),
       votes_(std::move(votes)),
@@ -22,14 +22,29 @@ CommitInstance::CommitInstance(sim::Scheduler* scheduler,
   // Resilience: tolerate any minority of the touched partitions, at least 1.
   int f = std::max(1, (n_ - 1) / 2);
 
-  network_ = std::make_unique<net::Network>(
-      scheduler, n_, std::make_unique<net::FixedDelayModel>(unit));
+  // The protocols reason synchronously: every message arrives within one
+  // paper-U. Across a WAN that bound is the topology's worst one-way delay,
+  // so the hosts' timer unit stretches to it while intra-region messages
+  // keep the fast base delay — the spread-deployment baseline the
+  // co-coordinator choreography is gated against.
+  sim::Time bound = unit;
+  if (topology.num_regions > 1) {
+    bound = std::max(unit, topology.MaxCrossDelay());
+    auto region_model = std::make_unique<net::RegionDelayModel>(
+        std::move(topology), std::make_unique<net::FixedDelayModel>(unit));
+    region_model_ = region_model.get();
+    network_ = std::make_unique<net::Network>(scheduler, n_,
+                                              std::move(region_model));
+  } else {
+    network_ = std::make_unique<net::Network>(
+        scheduler, n_, std::make_unique<net::FixedDelayModel>(unit));
+  }
 
   sim::Time epoch = scheduler->Now();
   hosts_.reserve(static_cast<size_t>(n_));
   for (int i = 0; i < n_; ++i) {
     hosts_.push_back(std::make_unique<core::Host>(scheduler, network_.get(), i,
-                                                  n_, f, unit, epoch));
+                                                  n_, f, bound, epoch));
   }
   for (int i = 0; i < n_; ++i) {
     core::Host* host = hosts_[static_cast<size_t>(i)].get();
@@ -66,8 +81,18 @@ void CommitInstance::Reset(std::vector<commit::Vote> votes,
   start_time_ = -1;
   finish_time_ = -1;
   network_->ResetEpoch();
+  if (region_model_ != nullptr) cross_mark_ = region_model_->cross_messages();
   sim::Time epoch = scheduler_->Now();
   for (auto& host : hosts_) host->Reset(epoch);
+}
+
+void CommitInstance::SetProcessRegions(std::vector<int> regions) {
+  if (regions.empty() && region_model_ == nullptr) return;
+  FC_CHECK(region_model_ != nullptr)
+      << "region assignment on a non-geo commit instance";
+  FC_CHECK(static_cast<int>(regions.size()) == n_)
+      << "region count " << regions.size() << " != instance size " << n_;
+  region_model_->SetProcessRegions(std::move(regions));
 }
 
 void CommitInstance::Start() {

@@ -9,6 +9,7 @@
 #include "core/host.h"
 #include "core/runner.h"
 #include "db/transaction.h"
+#include "net/delay_model.h"
 #include "net/network.h"
 #include "sim/scheduler.h"
 
@@ -51,10 +52,15 @@ class CommitInstance {
   using DoneCallback =
       std::function<void(CommitInstance* instance, commit::Decision decision)>;
 
+  /// `topology` with num_regions > 1 prices the cluster's messages through
+  /// a net::RegionDelayModel over the usual FixedDelayModel(unit) intra
+  /// base; the default single-region topology keeps the bare fixed model
+  /// (bitwise-identical construction to the pre-geo instance).
   CommitInstance(sim::Scheduler* scheduler, core::ProtocolKind protocol,
                  core::ConsensusKind consensus,
                  const core::ProtocolOptions& protocol_options, sim::Time unit,
-                 std::vector<commit::Vote> votes, DoneCallback done);
+                 std::vector<commit::Vote> votes, DoneCallback done,
+                 net::GeoTopology topology = net::GeoTopology());
   CommitInstance(const CommitInstance&) = delete;
   CommitInstance& operator=(const CommitInstance&) = delete;
   ~CommitInstance();
@@ -63,6 +69,11 @@ class CommitInstance {
   /// partitions: new votes, new done callback, epoch = Now(). Requires the
   /// previous incarnation to have finished.
   void Reset(std::vector<commit::Vote> votes, DoneCallback done);
+
+  /// Re-homes process i in region regions[i] for this incarnation (geo
+  /// instances only; call after Reset, before Start). An empty vector on a
+  /// non-geo instance is a no-op, so callers can pass through unconditionally.
+  void SetProcessRegions(std::vector<int> regions);
 
   /// Proposes every vote at the current virtual time.
   void Start();
@@ -81,6 +92,13 @@ class CommitInstance {
   int64_t lifetime_messages() const {
     return network_->stats().lifetime_sent();
   }
+  /// Messages this incarnation priced at a cross-region delay (0 on a
+  /// non-geo instance).
+  int64_t cross_messages() const {
+    return region_model_ == nullptr
+               ? 0
+               : region_model_->cross_messages() - cross_mark_;
+  }
 
  private:
   sim::Scheduler* scheduler_;
@@ -90,6 +108,11 @@ class CommitInstance {
   DoneCallback done_;
 
   std::unique_ptr<net::Network> network_;
+  /// Owned by network_'s delay model; non-null only on geo instances.
+  net::RegionDelayModel* region_model_ = nullptr;
+  /// cross_messages() watermark at the last Reset — per-incarnation deltas,
+  /// mirroring the per-epoch message stats.
+  int64_t cross_mark_ = 0;
   std::vector<std::unique_ptr<core::Host>> hosts_;
 
   int decided_count_ = 0;

@@ -93,17 +93,34 @@ sim::ShardedSimulator::Options SimOptions(const Database::Options& options) {
   return sim_options;
 }
 
+/// The pool's (and hence every commit instance's) region topology: the
+/// default single-region value with one region — so the pre-geo fixed-delay
+/// construction path runs bitwise unchanged — else the laddered WAN.
+net::GeoTopology GeoTopologyFor(const Database::Options& options) {
+  if (options.num_regions <= 1) return net::GeoTopology();
+  return net::GeoTopology::Ladder(
+      options.num_regions, options.unit * options.cross_region_units_min,
+      options.unit * options.cross_region_units_max);
+}
+
 }  // namespace
 
 Database::Database(const Options& options)
     : options_(options),
       sim_(SimOptions(options)),
       rng_(options.seed),
-      plane_(options.num_partitions, sim_.num_shards(), options.concurrency),
+      plane_(options.num_partitions, sim_.num_shards(), options.concurrency,
+             options.num_regions),
       pool_(options.protocol, options.consensus, options.protocol_options,
-            options.unit, options.pool_instances) {
+            options.unit, options.pool_instances, GeoTopologyFor(options)) {
   // num_partitions >= 1 is checked by the plane's constructor.
   plane_.set_check_invariants(options.check_invariants);
+  if (GeoEnabled()) {
+    // Delay-range validity (cross >= 1 tick, min <= max) is FC_CHECKed by
+    // GeoTopology::Ladder inside GeoTopologyFor above.
+    geo_topology_ = GeoTopologyFor(options_);
+    region_scratch_.assign(static_cast<size_t>(options_.num_regions), 0);
+  }
   if (options_.log_replicas > 0) {
     // The log's ack streams are seeded off the database seed but keyed per
     // (slot, phase, replica), so turning the log on never perturbs the
@@ -794,9 +811,17 @@ void Database::FlushBatch(Batch batch) {
 
 void Database::StartRound(RoundState round, bool resumed) {
   sim::Time now = sim_.control()->Now();
+  // Logless one-phase fast path (geo co-coordinator mode): a round whose
+  // partitions all live in one region never exposes a decision outside
+  // that region before it completes, so it skips the commit log entirely
+  // — no slot, no replication, no durability wait. Its slot stays -1: a
+  // coordinator crash mid-round presumes abort and resubmits, which is
+  // exactly the unlogged-round recovery contract.
+  const bool logless =
+      GeoChoreographyEnabled() && RegionSpanOf(round.partitions) == 1;
   if (!resumed) {
     round.id = next_round_id_++;
-    if (LogEnabled()) {
+    if (LogEnabled() && !logless) {
       // Append the round's votes to the log and start the accept phase
       // replicating immediately: it overlaps the commit protocol's own
       // message delays, so the crash-free cost is only the decide-phase
@@ -814,6 +839,11 @@ void Database::StartRound(RoundState round, bool resumed) {
     return;
   }
 
+  if (GeoChoreographyEnabled()) {
+    RunGeoRound(std::move(round), resumed, now);
+    return;
+  }
+
   // The lead (first-enqueued) member's id places the round and keys its
   // completion effect — ids join exactly one round per attempt, so the
   // (time, key) pair stays unique.
@@ -824,67 +854,173 @@ void Database::StartRound(RoundState round, bool resumed) {
   // returns the instance to the pool.
   int64_t epoch = coordinator_epoch_;
   std::vector<commit::Vote> votes = round.round_votes;
+  // Geo baseline (spread coordination, no co-coordinators): home each
+  // cluster process in its partition's region, so the instance's own
+  // protocol messages pay the WAN delays.
+  std::vector<int> regions;
+  if (GeoEnabled()) {
+    regions.reserve(round.partitions.size());
+    for (int p : round.partitions) regions.push_back(plane_.RegionOf(p));
+  }
   CommitInstance* instance = pool_.Acquire(
       shard, sim_.shard(shard), std::move(votes),
-      [this, shard, lead, epoch, resumed, round = std::move(round)](
-          CommitInstance* done_instance, commit::Decision decision) mutable {
+      [this, shard, lead, epoch, resumed, started = now,
+       round = std::move(round)](CommitInstance* done_instance,
+                                 commit::Decision decision) mutable {
         // Runs on the shard (possibly a worker thread) at the decide
         // instant: snapshot the instance-local results here — after Release
         // the per-epoch counters belong to the next incarnation — and defer
         // everything that touches shared state to a canonical-order
         // completion effect on the control plane.
         int64_t messages = done_instance->messages();
+        int64_t cross_messages = done_instance->cross_messages();
         sim::Time finished = done_instance->finish_time();
         sim_.PostEffect(
             shard, finished, static_cast<uint64_t>(lead),
-            [this, done_instance, messages, decision, epoch, resumed,
-             round = std::move(round), finished]() mutable {
+            [this, done_instance, messages, cross_messages, decision, epoch,
+             resumed, started, round = std::move(round), finished]() mutable {
               pool_.Release(done_instance);
-              if (epoch != coordinator_epoch_) {
-                // Decided into a dead epoch: the round's fate is
-                // recovery's to settle (it is still in the round table).
-                recovery_stats_.lost_round_messages += messages;
-                return;
-              }
-              // One protocol round's messages, however many members it
-              // carried — the amortization batching exists for.
-              stats_.commit_messages += messages;
-              if (resumed) {
-                // Replay determinism: a re-decided round must land on the
-                // unique failure-free decision its logged votes imply.
-                FC_CHECK(decision ==
-                         commit::DecideFromVotes(round.round_votes))
-                    << "recovery replay divergence: round " << round.id
-                    << " re-decided " << commit::ToString(decision)
-                    << " against its logged votes";
-              }
-              if (LogEnabled()) {
-                log_->RecordDecision(round.slot, decision, finished);
-                ScheduleReplication(round.slot, CommitLog::Phase::kDecide,
-                                    finished);
-              }
-              if (MaybeCrashCoordinator(CrashPoint::kAfterDecide, finished)) {
-                // Decision logged (or lost with the unlogged round) but
-                // never delivered: recovery redoes or presumes abort.
-                return;
-              }
-              if (LogEnabled()) {
-                // Expose the decision only once it is durable: park the
-                // delivery on the slot's quorum. Durability of the accept
-                // phase is required too — a decision durable before its
-                // votes would let recovery re-decide from nothing.
-                int64_t slot = round.slot;
-                durable_waiters_[slot] = [this, round = std::move(round),
-                                          decision]() mutable {
-                  DeliverRoundDecision(round, decision, sim_.control()->Now());
-                };
-                MaybeCompleteSlot(slot);
-                return;
-              }
-              DeliverRoundDecision(round, decision, finished);
+              CompleteRound(std::move(round), decision, messages,
+                            cross_messages, started, finished, epoch, resumed);
             });
-      });
+      },
+      std::move(regions));
   instance->Start();
+}
+
+void Database::CompleteRound(RoundState round, commit::Decision decision,
+                             int64_t messages, int64_t cross_messages,
+                             sim::Time started_at, sim::Time finished_at,
+                             int64_t epoch, bool resumed) {
+  if (epoch != coordinator_epoch_) {
+    // Decided into a dead epoch: the round's fate is recovery's to settle
+    // (it is still in the round table).
+    recovery_stats_.lost_round_messages += messages;
+    return;
+  }
+  // One protocol round's messages, however many members it carried — the
+  // amortization batching exists for.
+  stats_.commit_messages += messages;
+  if (resumed) {
+    // Replay determinism: a re-decided round must land on the unique
+    // failure-free decision its logged votes imply.
+    FC_CHECK(decision == commit::DecideFromVotes(round.round_votes))
+        << "recovery replay divergence: round " << round.id << " re-decided "
+        << commit::ToString(decision) << " against its logged votes";
+  }
+  if (GeoEnabled()) {
+    RecordGeoRound(round, cross_messages, started_at, finished_at);
+  }
+  // round.slot >= 0 excludes the geo logless one-phase rounds, which never
+  // appended a slot; every other logged round has one.
+  if (LogEnabled() && round.slot >= 0) {
+    log_->RecordDecision(round.slot, decision, finished_at);
+    ScheduleReplication(round.slot, CommitLog::Phase::kDecide, finished_at);
+  }
+  if (MaybeCrashCoordinator(CrashPoint::kAfterDecide, finished_at)) {
+    // Decision logged (or lost with the unlogged round) but never
+    // delivered: recovery redoes or presumes abort.
+    return;
+  }
+  if (LogEnabled() && round.slot >= 0) {
+    // Expose the decision only once it is durable: park the delivery on
+    // the slot's quorum. Durability of the accept phase is required too —
+    // a decision durable before its votes would let recovery re-decide
+    // from nothing.
+    int64_t slot = round.slot;
+    durable_waiters_[slot] = [this, round = std::move(round),
+                              decision]() mutable {
+      DeliverRoundDecision(round, decision, sim_.control()->Now());
+    };
+    MaybeCompleteSlot(slot);
+    return;
+  }
+  DeliverRoundDecision(round, decision, finished_at);
+}
+
+int Database::RegionSpanOf(const std::vector<int>& partitions) {
+  if (!GeoEnabled()) return 1;
+  std::fill(region_scratch_.begin(), region_scratch_.end(), 0);
+  int span = 0;
+  for (int p : partitions) {
+    char& seen = region_scratch_[static_cast<size_t>(plane_.RegionOf(p))];
+    if (seen == 0) {
+      seen = 1;
+      ++span;
+    }
+  }
+  return span;
+}
+
+void Database::RunGeoRound(RoundState round, bool resumed, sim::Time now) {
+  int n = static_cast<int>(round.partitions.size());
+  std::fill(region_scratch_.begin(), region_scratch_.end(), 0);
+  int span = 0;
+  int min_region = 0;
+  int max_region = 0;
+  for (int p : round.partitions) {
+    int region = plane_.RegionOf(p);
+    char& seen = region_scratch_[static_cast<size_t>(region)];
+    if (seen == 0) {
+      seen = 1;
+      if (span == 0 || region < min_region) min_region = region;
+      if (span == 0 || region > max_region) max_region = region;
+      ++span;
+    }
+  }
+  // Gather and scatter are intra-DC hops a round only pays when some
+  // co-coordinator has local company (n > span: a region holds >= 2
+  // touched partitions); each costs one unit because every region gathers
+  // in parallel. The all-to-all aggregate exchange is the single
+  // cross-region hop on the critical path, bounded by the farthest
+  // touched pair — which under the laddered topology is (min, max).
+  sim::Time hop = n > span ? options_.unit : 0;
+  sim::Time exchange =
+      span > 1 ? geo_topology_.CrossDelayBetween(min_region, max_region) : 0;
+  sim::Time finished = now + hop + exchange + hop;
+  // Vote gathers and decision scatters between each co-coordinator and
+  // its local partitions, plus the co-coordinators' aggregate exchange.
+  int64_t cross_messages =
+      span > 1 ? static_cast<int64_t>(span) * (span - 1) : 0;
+  int64_t messages = 2 * static_cast<int64_t>(n - span) + cross_messages;
+  // Every co-coordinator applies the vote algebra to the same full vote
+  // vector, so each region reaches the decision locally — no second
+  // cross-region round. This is the same verdict a protocol instance
+  // reaches in a failure-free run (the resumed-round FC_CHECK in
+  // CompleteRound pins exactly that equivalence).
+  commit::Decision decision = commit::DecideFromVotes(round.round_votes);
+  int64_t epoch = coordinator_epoch_;
+  sim_.control()->ScheduleAt(
+      finished, sim::EventClass::kDelivery,
+      [this, round = std::move(round), decision, messages, cross_messages,
+       now, finished, epoch, resumed]() mutable {
+        CompleteRound(std::move(round), decision, messages, cross_messages,
+                      now, finished, epoch, resumed);
+      });
+}
+
+void Database::RecordGeoRound(const RoundState& round, int64_t cross_messages,
+                              sim::Time started_at, sim::Time finished_at) {
+  int span = RegionSpanOf(round.partitions);
+  geo_stats_.cross_region_messages += cross_messages;
+  if (GeoChoreographyEnabled()) {
+    ++geo_stats_.co_coordinator_rounds;
+    // A single-region choreography round is by construction the logless
+    // one-phase path (StartRound never appended a slot for it).
+    if (span == 1) ++geo_stats_.one_phase_rounds;
+  }
+  if (span <= 1) {
+    ++geo_stats_.single_region_rounds;
+    return;
+  }
+  ++geo_stats_.multi_region_rounds;
+  sim::Time latency = finished_at - started_at;
+  geo_stats_.multi_region_latency.Record(latency);
+  // Critical-path cross-region hops, nearest integer in closest-pair
+  // cross delays: exact while intra-DC hops stay well under half a cross
+  // delay (the 30-100x WAN regime this plane models).
+  sim::Time cross = CrossTicksMin();
+  geo_stats_.cross_region_delays += (latency + cross / 2) / cross;
 }
 
 void Database::DeliverRoundDecision(RoundState& round,

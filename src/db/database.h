@@ -333,6 +333,34 @@ class Database {
     /// unchanged. Ack delays draw from a stateless per-(slot, phase,
     /// replica) stream, never the database's main RNG.
     int log_replicas = 0;
+    /// Geo-distributed deployment: partitions are homed across this many
+    /// regions (PartitionPlane::RegionOf — partition mod regions) and every
+    /// commit-instance message between processes in different regions costs
+    /// a cross-region delay (net::RegionDelayModel) instead of one unit.
+    /// 1 (the default) keeps the single-latency-class world and leaves
+    /// every pre-existing stat bitwise unchanged.
+    int num_regions = 1;
+    /// One-way cross-region delay for the *closest* region pair, in units
+    /// of `unit` (the ROADMAP's intra-DC ~1U vs cross-region 30-100U).
+    int64_t cross_region_units_min = 30;
+    /// ... and for the farthest pair; intermediate pairs ladder linearly
+    /// (net::GeoTopology::Ladder). Equal min/max = a uniform WAN.
+    int64_t cross_region_units_max = 30;
+    /// Co-coordinator commit for multi-region rounds (per "Fast Commitment
+    /// for Geo-Distributed Transactions", arXiv 2312.01229): each region's
+    /// co-coordinator gathers its local partitions' votes over intra-DC
+    /// hops, the co-coordinators exchange one aggregate each, and every
+    /// region scatters the decision locally — one cross-region round on the
+    /// critical path instead of the classic two (vote + decision). Rounds
+    /// whose writes all land in one region additionally take a *logless
+    /// one-phase* path in the spirit of "To Vote Before Decide" (arXiv
+    /// 1701.02408): no commit-log slot is appended — a coordinator crash
+    /// presumes abort and resubmits, which is safe because no decision
+    /// escapes the region before the crash. The round's decision is the
+    /// vote-algebra verdict (commit::DecideFromVotes) over the same
+    /// disjunction votes every protocol path uses, so batching, merging,
+    /// and recovery replay run unchanged. Ignored when num_regions <= 1.
+    bool geo_co_coordinators = false;
     /// Deterministic fault injection (db/fault_plan.h): at most one
     /// coordinator crash at a chosen protocol step plus one timed
     /// participant crash, both driven by sim events at canonical
@@ -446,6 +474,57 @@ class Database {
     }
   };
 
+  /// Counters of the geo commit plane (all zero when Options::num_regions
+  /// <= 1). Outside DatabaseStats for the usual reason: the determinism
+  /// gates compare DatabaseStats across machinery configurations, and these
+  /// describe the geo machinery. They are themselves placement-invariant
+  /// and the geo tests compare them bitwise across placements.
+  struct GeoStats {
+    /// Commit rounds spanning >= 2 regions / exactly 1 region (of the
+    /// multi-partition rounds; single-partition one-phase commits never
+    /// form a round and are counted in DatabaseStats::single_partition).
+    int64_t multi_region_rounds = 0;
+    int64_t single_region_rounds = 0;
+    /// Rounds run by the co-coordinator choreography instead of a pooled
+    /// protocol instance (Options::geo_co_coordinators).
+    int64_t co_coordinator_rounds = 0;
+    /// Single-region rounds that took the logless one-phase path (no
+    /// commit-log slot; subset of co_coordinator_rounds).
+    int64_t one_phase_rounds = 0;
+    /// Cross-region one-way delays on the commit critical path, summed
+    /// over multi-region rounds: each round's decide latency divided by
+    /// the closest-pair cross delay, nearest integer — exact while intra
+    /// hops stay well under one cross hop (the 30-100x regime). The bench
+    /// gates cross_region_delays / multi_region_rounds <= 1 for
+    /// co-coordinators vs 2 for the classic two-round baseline.
+    int64_t cross_region_delays = 0;
+    /// Commit-instance messages priced at a cross-region delay (protocol +
+    /// consensus traffic, baseline mode) plus the choreography's aggregate
+    /// exchanges (co-coordinator mode).
+    int64_t cross_region_messages = 0;
+    /// Decide latency of multi-region rounds, ticks (excludes any
+    /// commit-log durability wait, which is region-local).
+    LatencyStats multi_region_latency;
+
+    double CrossRegionRoundsPerCommit() const {
+      return multi_region_rounds == 0
+                 ? 0.0
+                 : static_cast<double>(cross_region_delays) /
+                       static_cast<double>(multi_region_rounds);
+    }
+
+    bool operator==(const GeoStats& other) const {
+      return multi_region_rounds == other.multi_region_rounds &&
+             single_region_rounds == other.single_region_rounds &&
+             co_coordinator_rounds == other.co_coordinator_rounds &&
+             one_phase_rounds == other.one_phase_rounds &&
+             cross_region_delays == other.cross_region_delays &&
+             cross_region_messages == other.cross_region_messages &&
+             multi_region_latency == other.multi_region_latency;
+    }
+    bool operator!=(const GeoStats& other) const { return !(*this == other); }
+  };
+
   explicit Database(const Options& options);
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -464,6 +543,11 @@ class Database {
   /// Shard that will host the commit instance of transaction `id`
   /// (deterministic in the id, independent of submission order).
   int ShardOf(TxId id) const;
+  /// Geo region `partition` is homed in (partition mod
+  /// Options::num_regions; always 0 with one region).
+  int RegionOfPartition(int partition) const {
+    return plane_.RegionOf(partition);
+  }
 
   /// Schedules `tx` for execution at virtual time `at_ticks` (>= Now()).
   /// `on_complete`, if set, fires once with the transaction's final
@@ -554,6 +638,8 @@ class Database {
   /// Fault-injection / recovery counters (see RecoveryStats); all zero
   /// with an empty fault plan.
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  /// Geo-plane counters (see GeoStats); all zero with one region.
+  const GeoStats& geo_stats() const { return geo_stats_; }
   /// The replicated coordinator log, or nullptr when Options::log_replicas
   /// is 0. Watermarks and CommitLog::Stats (fast/slow path decisions,
   /// live-slot high-water mark) for the recovery tests and bench.
@@ -735,6 +821,45 @@ class Database {
   /// the log off and no crash planned this is byte-for-byte the old
   /// unbatched/FlushBatch completion flow.
   void StartRound(RoundState round, bool resumed);
+  /// Shared tail of every commit round — the instance path's completion
+  /// effect and the geo choreography's completion event both land here, in
+  /// canonical control-plane order: epoch fence (a stale epoch's messages
+  /// count as lost), message accounting, the resumed-round decision
+  /// FC_CHECK, geo metrics, decision logging + durability parking, the
+  /// planned after-decide crash, and per-member delivery. `started_at` is
+  /// the round's StartRound instant, `finished_at` its decide instant.
+  void CompleteRound(RoundState round, commit::Decision decision,
+                     int64_t messages, int64_t cross_messages,
+                     sim::Time started_at, sim::Time finished_at,
+                     int64_t epoch, bool resumed);
+  /// Co-coordinator choreography (Options::geo_co_coordinators): instead
+  /// of a pooled protocol instance, the round's partitions are grouped by
+  /// region; each region's co-coordinator gathers local votes (one intra
+  /// hop when it has local company), the co-coordinators exchange
+  /// aggregates all-to-all (each then applies commit::DecideFromVotes to
+  /// the full vote vector — every region reaches the same verdict, so no
+  /// second cross-region round is needed), and scatters the decision (one
+  /// intra hop). Latency = gather + max cross delay + scatter; messages =
+  /// 2 * sum(region fan-out) + R * (R - 1). Everything is a pure function
+  /// of round state, scheduled as one control-plane event at the decide
+  /// instant — no shard events, trivially placement-invariant.
+  void RunGeoRound(RoundState round, bool resumed, sim::Time now);
+  /// Records one decided round's geo counters (multi/single region, round
+  /// classification, critical-path cross delays, latency).
+  void RecordGeoRound(const RoundState& round, int64_t cross_messages,
+                      sim::Time started_at, sim::Time finished_at);
+  /// Distinct regions the (sorted) partition set touches; 1 with one
+  /// region configured.
+  int RegionSpanOf(const std::vector<int>& partitions);
+  bool GeoEnabled() const { return options_.num_regions > 1; }
+  /// Co-coordinator rounds replace pooled instances entirely.
+  bool GeoChoreographyEnabled() const {
+    return GeoEnabled() && options_.geo_co_coordinators;
+  }
+  /// Closest-pair one-way cross-region delay in ticks.
+  sim::Time CrossTicksMin() const {
+    return options_.unit * options_.cross_region_units_min;
+  }
   /// Delivers a decided round: per-member fate (round decision AND the
   /// member's own vote conjunction), FinishTx at `finished_at`, adaptive
   /// conflict feedback for batch rounds, round-table erase, log
@@ -847,6 +972,11 @@ class Database {
   /// Replicated coordinator log (Options::log_replicas > 0), else null.
   std::unique_ptr<CommitLog> log_;
   RecoveryStats recovery_stats_;
+  GeoStats geo_stats_;
+  /// The laddered WAN matrix (same value the pool prices instances with);
+  /// default single-region value when GeoEnabled() is false.
+  net::GeoTopology geo_topology_;
+  std::vector<char> region_scratch_;  ///< reused RegionSpanOf seen-set
   /// Coordinator liveness. While down, Execute parks submissions and
   /// retries in parked_ (arrival order) and completion effects of rounds
   /// started in an older epoch release their instance and nothing else.

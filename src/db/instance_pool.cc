@@ -11,17 +11,19 @@ namespace fastcommit::db {
 CommitInstancePool::CommitInstancePool(
     core::ProtocolKind protocol, core::ConsensusKind consensus,
     const core::ProtocolOptions& protocol_options, sim::Time unit,
-    bool enabled)
+    bool enabled, net::GeoTopology topology)
     : protocol_(protocol),
       consensus_(consensus),
       protocol_options_(protocol_options),
       unit_(unit),
-      enabled_(enabled) {}
+      enabled_(enabled),
+      topology_(std::move(topology)) {}
 
 CommitInstance* CommitInstancePool::Acquire(int shard,
                                             sim::Scheduler* scheduler,
                                             std::vector<commit::Vote> votes,
-                                            CommitInstance::DoneCallback done) {
+                                            CommitInstance::DoneCallback done,
+                                            std::vector<int> regions) {
   FC_CHECK(scheduler != nullptr);
   int n = static_cast<int>(votes.size());
   ++stats_.live;
@@ -34,6 +36,7 @@ CommitInstance* CommitInstancePool::Acquire(int shard,
       CommitInstance* instance = it->second.back();
       it->second.pop_back();
       instance->Reset(std::move(votes), std::move(done));
+      instance->SetProcessRegions(std::move(regions));
       ++stats_.reused;
       return instance;
     }
@@ -41,9 +44,10 @@ CommitInstance* CommitInstancePool::Acquire(int shard,
 
   auto instance = std::make_unique<CommitInstance>(
       scheduler, protocol_, consensus_, protocol_options_, unit_,
-      std::move(votes), std::move(done));
+      std::move(votes), std::move(done), topology_);
   CommitInstance* raw = instance.get();
   raw->set_shard_key(shard);
+  raw->SetProcessRegions(std::move(regions));
   all_.push_back(std::move(instance));
   ++stats_.created;
   return raw;

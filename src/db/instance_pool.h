@@ -59,10 +59,15 @@ class CommitInstancePool {
     int64_t trimmed = 0;    ///< instances destroyed by Trim
   };
 
+  /// `topology` with num_regions > 1 makes every instance a geo instance
+  /// (see CommitInstance's constructor); the free lists stay keyed by
+  /// (shard, n) because every instance of the pool shares one topology —
+  /// only the per-incarnation process->region assignment varies.
   CommitInstancePool(core::ProtocolKind protocol,
                      core::ConsensusKind consensus,
                      const core::ProtocolOptions& protocol_options,
-                     sim::Time unit, bool enabled);
+                     sim::Time unit, bool enabled,
+                     net::GeoTopology topology = net::GeoTopology());
   CommitInstancePool(const CommitInstancePool&) = delete;
   CommitInstancePool& operator=(const CommitInstancePool&) = delete;
 
@@ -70,9 +75,12 @@ class CommitInstancePool {
   /// `scheduler` (the shard's). The pool retains ownership; the caller must
   /// Release exactly once when the commit decided (typically from the
   /// completion effect). `shard` must identify `scheduler` stably.
+  /// `regions` homes process i in regions[i] for this incarnation (geo
+  /// pools only; leave empty on a single-region pool).
   CommitInstance* Acquire(int shard, sim::Scheduler* scheduler,
                           std::vector<commit::Vote> votes,
-                          CommitInstance::DoneCallback done);
+                          CommitInstance::DoneCallback done,
+                          std::vector<int> regions = {});
 
   /// Returns a finished instance to its (shard, size) class (no-op when
   /// pooling is disabled — the baseline keeps instances live until
@@ -97,6 +105,7 @@ class CommitInstancePool {
   core::ProtocolOptions protocol_options_;
   sim::Time unit_;
   bool enabled_;
+  net::GeoTopology topology_;
 
   std::vector<std::unique_ptr<CommitInstance>> all_;
   /// Ordered map so Trim destroys in a deterministic class order.

@@ -24,9 +24,11 @@ uint64_t HashPartitionId(int partition) {
 }  // namespace
 
 PartitionPlane::PartitionPlane(int num_partitions, int num_home_shards,
-                               ConcurrencyMode mode) {
+                               ConcurrencyMode mode, int num_regions)
+    : num_regions_(num_regions) {
   FC_CHECK(num_partitions >= 1) << "need at least one partition";
   FC_CHECK(num_home_shards >= 1) << "need at least one home shard";
+  FC_CHECK(num_regions >= 1) << "need at least one region";
   queues_.resize(static_cast<size_t>(num_partitions));
   groups_.resize(static_cast<size_t>(num_home_shards));
   for (int p = 0; p < num_partitions; ++p) {
@@ -48,6 +50,12 @@ PartitionPlane::PartitionPlane(int num_partitions, int num_home_shards,
 int PartitionPlane::HomeShardOf(int partition) const {
   return static_cast<int>(HashPartitionId(partition) %
                           static_cast<uint64_t>(groups_.size()));
+}
+
+int PartitionPlane::RegionOf(int partition) const {
+  FC_CHECK(partition >= 0 && partition < num_partitions())
+      << "bad partition index " << partition;
+  return partition % num_regions_;
 }
 
 Participant& PartitionPlane::partition(int index) {

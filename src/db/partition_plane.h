@@ -59,9 +59,12 @@ class PartitionPlane {
   /// `num_home_shards` is the worker-group count, normally the sharded
   /// simulator's shard count so partition flushes and instance drains
   /// scale together. `mode` is the concurrency control every Participant
-  /// runs (Database::Options::concurrency).
+  /// runs (Database::Options::concurrency). `num_regions` homes each
+  /// partition in a geo region (Database::Options::num_regions); 1 keeps
+  /// the single-latency-class world.
   PartitionPlane(int num_partitions, int num_home_shards,
-                 ConcurrencyMode mode = ConcurrencyMode::k2PL);
+                 ConcurrencyMode mode = ConcurrencyMode::k2PL,
+                 int num_regions = 1);
   PartitionPlane(const PartitionPlane&) = delete;
   PartitionPlane& operator=(const PartitionPlane&) = delete;
 
@@ -69,6 +72,11 @@ class PartitionPlane {
   /// Home shard (worker group) of `partition`; stable FNV-1a placement,
   /// independent of arrival order and load.
   int HomeShardOf(int partition) const;
+  /// Geo region of `partition`: round-robin homing (partition mod regions),
+  /// deliberately *not* hashed — region assignment is part of the modeled
+  /// deployment, so workloads pick their region mix by picking partitions.
+  int RegionOf(int partition) const;
+  int num_regions() const { return num_regions_; }
 
   /// Direct partition access. Callers that may have pending tasks must
   /// Flush first (Database's accessors do).
@@ -213,6 +221,7 @@ class PartitionPlane {
 
   std::vector<PartitionQueue> queues_;
   std::vector<std::vector<int>> groups_;  ///< home shard -> partition ids
+  int num_regions_ = 1;                   ///< geo regions (RegionOf modulus)
   std::function<void(int)> drain_group_;  ///< reused ParallelFor body
   /// Partitions with pending tasks, in first-task order (deterministic:
   /// the control plane enqueues canonically; and partition order is

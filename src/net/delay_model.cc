@@ -1,5 +1,6 @@
 #include "net/delay_model.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "core/check.h"
@@ -39,7 +40,10 @@ GstDelayModel::GstDelayModel(sim::Time u, sim::Time gst,
       late_probability_(late_probability),
       rng_(seed) {
   FC_CHECK(u >= 1) << "U must be positive";
-  FC_CHECK(max_before_gst >= u) << "pre-GST bound below U";
+  // Strict: the late branch draws from [U + 1, max_before_gst], so a bound
+  // equal to U would hand UniformInt an empty range (historical bug — the
+  // old >= check admitted it).
+  FC_CHECK(max_before_gst > u) << "pre-GST bound must exceed U";
 }
 
 sim::Time GstDelayModel::DelayFor(ProcessId /*from*/, ProcessId /*to*/,
@@ -63,21 +67,133 @@ void ScriptedDelayModel::AddRule(ProcessId from, ProcessId to,
                                  sim::Time sent_from, sim::Time sent_to,
                                  sim::Time delay) {
   FC_CHECK(delay >= 1) << "delay must be positive";
+  // An inverted interval can never match; it used to be accepted silently
+  // and create a dead rule, which reads as "the script is on" while the
+  // adversary never actually fires.
+  FC_CHECK(sent_from <= sent_to)
+      << "inverted rule interval [" << sent_from << ", " << sent_to << "]";
+  // Normalize any negative id to the canonical wildcard so the bucket key
+  // is unique per match class.
+  if (from < 0) from = -1;
+  if (to < 0) to = -1;
   rules_.push_back(Rule{from, to, sent_from, sent_to, delay});
+  by_link_[{from, to}].push_back(rules_.size() - 1);
 }
 
 sim::Time ScriptedDelayModel::DelayFor(ProcessId from, ProcessId to,
                                        sim::Time send_time, int64_t seq) {
-  for (auto it = rules_.rbegin(); it != rules_.rend(); ++it) {
-    const Rule& r = *it;
-    bool from_match = r.from < 0 || r.from == from;
-    bool to_match = r.to < 0 || r.to == to;
-    if (from_match && to_match && send_time >= r.sent_from &&
-        send_time <= r.sent_to) {
-      return r.delay;
+  // A message can only match rules in four buckets: its exact link and the
+  // three wildcard combinations. Within each bucket indices are ascending,
+  // so scanning from the back finds that bucket's newest interval match;
+  // the newest match across buckets (max global index) reproduces the old
+  // whole-list reverse scan's last-rule-wins answer bitwise.
+  const std::pair<ProcessId, ProcessId> keys[4] = {
+      {from, to}, {from, -1}, {-1, to}, {-1, -1}};
+  bool found = false;
+  size_t best = 0;
+  for (const auto& key : keys) {
+    auto it = by_link_.find(key);
+    if (it == by_link_.end()) continue;
+    const std::vector<size_t>& indices = it->second;
+    for (auto rit = indices.rbegin(); rit != indices.rend(); ++rit) {
+      const Rule& r = rules_[*rit];
+      if (send_time >= r.sent_from && send_time <= r.sent_to) {
+        if (!found || *rit > best) {
+          found = true;
+          best = *rit;
+        }
+        break;
+      }
     }
   }
+  if (found) return rules_[best].delay;
   return base_->DelayFor(from, to, send_time, seq);
+}
+
+GeoTopology GeoTopology::Uniform(int num_regions, sim::Time cross) {
+  return Ladder(num_regions, cross, cross);
+}
+
+GeoTopology GeoTopology::Ladder(int num_regions, sim::Time cross_min,
+                                sim::Time cross_max) {
+  FC_CHECK(num_regions >= 1) << "need at least one region";
+  FC_CHECK(cross_min >= 1) << "cross-region delay must be positive";
+  FC_CHECK(cross_max >= cross_min) << "inverted cross-region delay range";
+  GeoTopology topology;
+  topology.num_regions = num_regions;
+  topology.cross_delay.assign(
+      static_cast<size_t>(num_regions) * num_regions, 0);
+  // distance 1 -> cross_min, distance (num_regions - 1) -> cross_max.
+  sim::Time span = cross_max - cross_min;
+  int steps = num_regions - 2;  // interior distances between the endpoints
+  for (int a = 0; a < num_regions; ++a) {
+    for (int b = 0; b < num_regions; ++b) {
+      if (a == b) continue;
+      int distance = a > b ? a - b : b - a;
+      sim::Time delay =
+          steps <= 0 ? cross_min
+                     : cross_min + span * (distance - 1) / steps;
+      topology.cross_delay[static_cast<size_t>(a) * num_regions + b] = delay;
+    }
+  }
+  return topology;
+}
+
+sim::Time GeoTopology::CrossDelayBetween(int a, int b) const {
+  FC_CHECK(a >= 0 && a < num_regions && b >= 0 && b < num_regions)
+      << "region out of range: " << a << ", " << b;
+  return cross_delay[static_cast<size_t>(a) * num_regions + b];
+}
+
+sim::Time GeoTopology::MaxCrossDelay() const {
+  sim::Time max_delay = 0;
+  for (sim::Time delay : cross_delay) {
+    max_delay = std::max(max_delay, delay);
+  }
+  return max_delay;
+}
+
+RegionDelayModel::RegionDelayModel(GeoTopology topology,
+                                   std::unique_ptr<DelayModel> base)
+    : topology_(std::move(topology)), base_(std::move(base)) {
+  FC_CHECK(base_ != nullptr) << "region model needs an intra-region base";
+  FC_CHECK(topology_.num_regions >= 1) << "need at least one region";
+  FC_CHECK(topology_.cross_delay.size() ==
+           static_cast<size_t>(topology_.num_regions) * topology_.num_regions)
+      << "cross-delay matrix shape mismatch";
+  if (topology_.num_regions > 1) {
+    for (int a = 0; a < topology_.num_regions; ++a) {
+      for (int b = 0; b < topology_.num_regions; ++b) {
+        if (a == b) continue;
+        FC_CHECK(topology_.CrossDelayBetween(a, b) >= 1)
+            << "cross-region delay must be positive";
+      }
+    }
+  }
+}
+
+void RegionDelayModel::SetProcessRegions(std::vector<int> regions) {
+  for (int region : regions) {
+    FC_CHECK(region >= 0 && region < topology_.num_regions)
+        << "process homed in unknown region " << region;
+  }
+  regions_ = std::move(regions);
+}
+
+int RegionDelayModel::RegionOf(ProcessId pid) const {
+  if (pid < 0 || static_cast<size_t>(pid) >= regions_.size()) return 0;
+  return regions_[static_cast<size_t>(pid)];
+}
+
+sim::Time RegionDelayModel::DelayFor(ProcessId from, ProcessId to,
+                                     sim::Time send_time, int64_t seq) {
+  int region_from = RegionOf(from);
+  int region_to = RegionOf(to);
+  if (region_from == region_to) {
+    return base_->DelayFor(from, to, send_time, seq);
+  }
+  ++cross_messages_;
+  return topology_.CrossDelayBetween(region_from, region_to);
 }
 
 }  // namespace fastcommit::net

@@ -2,7 +2,9 @@
 #define FASTCOMMIT_NET_DELAY_MODEL_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "net/message.h"
@@ -90,7 +92,10 @@ class ScriptedDelayModel : public DelayModel {
   explicit ScriptedDelayModel(std::unique_ptr<DelayModel> base);
 
   /// Messages from `from` to `to` sent in [sent_from, sent_to] get `delay`.
-  /// Use from = -1 or to = -1 as wildcards. Later rules win.
+  /// Use from = -1 or to = -1 as wildcards (any negative id is treated as
+  /// the wildcard). When several rules cover the same message, the one added
+  /// last wins — scripts layer "hold everything back" blankets first and
+  /// then punch narrower per-link exceptions on top.
   void AddRule(ProcessId from, ProcessId to, sim::Time sent_from,
                sim::Time sent_to, sim::Time delay);
 
@@ -107,7 +112,68 @@ class ScriptedDelayModel : public DelayModel {
   };
 
   std::unique_ptr<DelayModel> base_;
+  /// Insertion order; the vector index is the rule's age for last-wins
+  /// arbitration.
   std::vector<Rule> rules_;
+  /// (from, to) -> ascending indices into rules_ with exactly that link key
+  /// (wildcards normalized to -1). A lookup probes at most the four buckets
+  /// a message can match — (f,t), (f,*), (*,t), (*,*) — instead of scanning
+  /// every rule of every other link, which matters now that fault-plan
+  /// scripts ride the geo hot path.
+  std::map<std::pair<ProcessId, ProcessId>, std::vector<size_t>> by_link_;
+};
+
+/// Region topology for geo-distributed commit: a symmetric matrix of one-way
+/// cross-region delays (ticks). Intra-region messages are delegated to a
+/// composed base model (Fixed/BoundedRandom/Gst), so the WAN classes layer
+/// on top of any of the paper's three system models.
+struct GeoTopology {
+  int num_regions = 1;
+  /// Row-major num_regions x num_regions one-way delays; diagonal entries
+  /// are unused (same-region messages take the base model's delay).
+  std::vector<sim::Time> cross_delay;
+
+  /// Every cross-region pair costs the same `cross` ticks (a uniform WAN).
+  static GeoTopology Uniform(int num_regions, sim::Time cross);
+  /// RTT classes laddered by region distance: adjacent regions cost
+  /// `cross_min`, the farthest pair costs `cross_max`, intermediate pairs
+  /// interpolate linearly (integer math, deterministic).
+  static GeoTopology Ladder(int num_regions, sim::Time cross_min,
+                            sim::Time cross_max);
+
+  sim::Time CrossDelayBetween(int a, int b) const;
+  /// Largest one-way delay in the matrix — the synchrony bound a protocol
+  /// running across this topology must assume (0 for a single region).
+  sim::Time MaxCrossDelay() const;
+};
+
+/// Assigns processes to regions and prices each message by whether it stays
+/// inside its region (base model delay, intra-DC ~1U) or crosses a region
+/// boundary (the topology's per-pair delay, 30-100U). Deterministic given
+/// the base model: the region lookup adds no RNG draws, so a 1-region
+/// topology is bitwise identical to the bare base model.
+class RegionDelayModel : public DelayModel {
+ public:
+  RegionDelayModel(GeoTopology topology, std::unique_ptr<DelayModel> base);
+
+  /// Region of each process id, indexed by id; processes at or beyond
+  /// size() live in region 0. Replaces any previous assignment — the pooled
+  /// commit-instance recycle path re-homes the cluster per incarnation.
+  void SetProcessRegions(std::vector<int> regions);
+
+  sim::Time DelayFor(ProcessId from, ProcessId to, sim::Time send_time,
+                     int64_t seq) override;
+
+  /// Messages priced at a cross-region delay since construction.
+  int64_t cross_messages() const { return cross_messages_; }
+
+ private:
+  int RegionOf(ProcessId pid) const;
+
+  GeoTopology topology_;
+  std::unique_ptr<DelayModel> base_;
+  std::vector<int> regions_;
+  int64_t cross_messages_ = 0;
 };
 
 }  // namespace fastcommit::net

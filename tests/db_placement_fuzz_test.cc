@@ -69,6 +69,13 @@ struct FuzzConfig {
   /// crash instant, the recovery composition, everything.
   int log_replicas = 0;
   FaultPlan fault_plan;
+  /// Geo dims (configuration, like `concurrency`): region count, the WAN
+  /// delay class, and the co-coordinator choreography. Geo stats and the
+  /// WAN-priced schedule must be placement-invariant per setting.
+  int num_regions = 1;
+  int64_t cross_region_units_min = 30;
+  int64_t cross_region_units_max = 30;
+  bool geo_co_coordinators = false;
   uint64_t seed = 1;
 
   std::string Describe() const {
@@ -99,6 +106,11 @@ struct FuzzConfig {
       out << " part_crash=" << fault_plan.crash_partition << "@"
           << fault_plan.participant_crash_at << "+"
           << fault_plan.participant_restart_delay;
+    }
+    if (num_regions > 1) {
+      out << " regions=" << num_regions << " cross=" << cross_region_units_min
+          << ".." << cross_region_units_max
+          << " co_coord=" << geo_co_coordinators;
     }
     out << " seed=" << seed;
     return out.str();
@@ -212,6 +224,17 @@ FuzzConfig DrawConfig(sim::Rng& rng) {
     config.fault_plan.participant_crash_at = 100 * rng.UniformInt(0, 30);
     config.fault_plan.participant_restart_delay = 100 * rng.UniformInt(5, 25);
   }
+  // Geo dims ride after the fault draw (same stability rule): ~2/5 of the
+  // configs span multiple regions — uniform or laddered WAN classes — half
+  // of those in co-coordinator mode.
+  if (rng.Chance(0.4)) {
+    config.num_regions = static_cast<int>(rng.UniformInt(2, 3));
+    const int64_t kSpans[][2] = {{30, 30}, {30, 100}, {100, 100}};
+    const int64_t* span = kSpans[rng.Next() % 3];
+    config.cross_region_units_min = span[0];
+    config.cross_region_units_max = span[1];
+    config.geo_co_coordinators = rng.Chance(0.5);
+  }
   return config;
 }
 
@@ -255,6 +278,9 @@ struct RunResult {
   /// Crash/recovery counters — the replayed schedule itself must be
   /// placement-invariant, not just the workload outcomes.
   Database::RecoveryStats recovery;
+  /// Geo counters — the WAN-priced schedule (cross-region delays, span
+  /// classes, latency reservoir) must replay bitwise across placements.
+  Database::GeoStats geo;
 };
 
 RunResult RunOne(const FuzzConfig& config, const Placement& placement) {
@@ -274,6 +300,10 @@ RunResult RunOne(const FuzzConfig& config, const Placement& placement) {
   options.snapshot_reads = config.snapshot_reads;
   options.log_replicas = config.log_replicas;
   options.fault_plan = config.fault_plan;
+  options.num_regions = config.num_regions;
+  options.cross_region_units_min = config.cross_region_units_min;
+  options.cross_region_units_max = config.cross_region_units_max;
+  options.geo_co_coordinators = config.geo_co_coordinators;
   options.num_shards = placement.num_shards;
   options.num_threads = placement.num_threads;
   options.partition_parallel = placement.partition_parallel;
@@ -307,6 +337,7 @@ RunResult RunOne(const FuzzConfig& config, const Placement& placement) {
   result.batch = database.batch_stats();
   result.read_fingerprint = database.read_fingerprint();
   result.recovery = database.recovery_stats();
+  result.geo = database.geo_stats();
   return result;
 }
 
@@ -358,6 +389,8 @@ TEST(PlacementFuzzTest, StatsIdenticalAcrossRandomPlacements) {
       EXPECT_EQ(reference.read_fingerprint, run.read_fingerprint);
       EXPECT_TRUE(reference.recovery == run.recovery)
           << "recovery replay diverged across placements";
+      EXPECT_TRUE(reference.geo == run.geo)
+          << "geo schedule diverged across placements";
       if (reference.stats != run.stats || reference.batch != run.batch) {
         // One divergence pins the config; more placements of the same
         // config would only repeat the noise.
@@ -439,6 +472,43 @@ TEST(PlacementFuzzTest, AcceptanceGridOcc) {
           RunResult run = RunOne(config, placement);
           EXPECT_EQ(reference.stats, run.stats);
           EXPECT_EQ(reference.batch, run.batch);
+        }
+      }
+    }
+  }
+}
+
+// The geo acceptance grid (ISSUE 10): a laddered 3-region topology, spread
+// baseline and co-coordinator choreography, each bitwise
+// placement-invariant — DatabaseStats and the WAN-priced GeoStats alike.
+TEST(PlacementFuzzTest, AcceptanceGridGeo) {
+  for (bool co_coordinators : {false, true}) {
+    FuzzConfig config;
+    config.protocol = core::ProtocolKind::kTwoPc;
+    config.workload = 0;  // transfer: multi-partition, cross-region spans
+    config.num_partitions = 6;
+    config.num_txs = 80;
+    config.arrival_gap = 15;
+    config.num_regions = 3;
+    config.cross_region_units_min = 30;
+    config.cross_region_units_max = 100;
+    config.geo_co_coordinators = co_coordinators;
+    config.seed = 0x6E0;
+    SCOPED_TRACE(config.Describe());
+    RunResult reference = RunOne(config, Placement{1, 1, false});
+    EXPECT_GT(reference.geo.multi_region_rounds, 0)
+        << "transfer run never crossed a region boundary";
+    for (int shards : {1, 2, 8}) {
+      for (int threads : {1, 4}) {
+        for (bool parallel : {false, true}) {
+          Placement placement{shards, threads, parallel,
+                              /*conflict_lookahead=*/parallel};
+          SCOPED_TRACE("placement: " + placement.Describe());
+          RunResult run = RunOne(config, placement);
+          EXPECT_EQ(reference.stats, run.stats);
+          EXPECT_EQ(reference.batch, run.batch);
+          EXPECT_TRUE(reference.geo == run.geo)
+              << "geo schedule diverged across placements";
         }
       }
     }

@@ -3,7 +3,8 @@
 
 The db benches (`bench_db_throughput`, `bench_db_sharded`,
 `bench_db_batching`, `bench_db_openloop`, `bench_db_readmix`,
-`bench_db_recovery`) emit machine-readable results via `--json <path>`.
+`bench_db_recovery`, `bench_db_geo`) emit machine-readable results via
+`--json <path>`.
 This script compares one or more of those documents against
 `BENCH_baseline.json` and fails (exit 1) when a *simulated* metric
 regresses by more than the tolerance — simulated metrics are
@@ -14,7 +15,8 @@ report-only.
 Gated (lower is better): msgs_per_commit, mean_latency_ticks,
 p99_latency_ticks, write_p99_latency_ticks, makespan_ticks,
 barrier_flushes, unavailability_ticks, outage_commit_gap_ticks,
-recovery_ticks. Gated (higher is better): occupancy, commits_per_tick,
+recovery_ticks, cross_region_rounds, multi_region_latency_units.
+Gated (higher is better): occupancy, commits_per_tick,
 achieved_over_offered, occ_speedup_vs_2pl, reads_per_tick,
 read_speedup_vs_locked. A row key
 present in the baseline but missing from the current run also fails —
@@ -38,7 +40,8 @@ LOWER_IS_BETTER = ("msgs_per_commit", "mean_latency_ticks",
                    "p99_latency_ticks", "write_p99_latency_ticks",
                    "makespan_ticks", "barrier_flushes",
                    "unavailability_ticks", "outage_commit_gap_ticks",
-                   "recovery_ticks")
+                   "recovery_ticks", "cross_region_rounds",
+                   "multi_region_latency_units")
 HIGHER_IS_BETTER = ("occupancy", "commits_per_tick", "achieved_over_offered",
                     "occ_speedup_vs_2pl", "reads_per_tick",
                     "read_speedup_vs_locked")

@@ -115,6 +115,24 @@ class BenchCompareTest(unittest.TestCase):
         self.assertEqual(code, 1)
         self.assertIn("commits_per_tick", err)
 
+    def test_cross_region_rounds_regression_fails(self):
+        rows = [{"key": "2pc/co-coordinator", "cross_region_rounds": 1.0,
+                 "multi_region_latency_units": 30.0}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], cross_region_rounds=2.0)])  # 2x
+        cur = self.write("cur.json", doc)
+        code, _, err = self.run_main(["--baseline", base, cur])
+        self.assertEqual(code, 1)
+        self.assertIn("cross_region_rounds", err)
+
+    def test_multi_region_latency_improvement_passes(self):
+        rows = [{"key": "2pc/co-coordinator", "cross_region_rounds": 1.0,
+                 "multi_region_latency_units": 31.0}]
+        base = self.write_baseline("base.json", [make_doc(rows=rows)])
+        doc = make_doc(rows=[dict(rows[0], multi_region_latency_units=30.0)])
+        cur = self.write("cur.json", doc)
+        self.assertEqual(self.run_main(["--baseline", base, cur])[0], 0)
+
     def test_occ_speedup_regression_fails(self):
         rows = [{"key": "ablation/read50/low/occ",
                  "occ_speedup_vs_2pl": 1.45, "commits_per_tick": 0.05}]

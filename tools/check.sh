@@ -78,6 +78,15 @@ gate "snapshot read mix (bench_db_readmix --txs 4000)" \
 gate "crash recovery (bench_db_recovery --txs 4000)" \
   ./build/bench_db_recovery --txs 4000
 
+# Geo-commit gate at reduced scale: nonzero if co-coordinator multi-region
+# commits stop averaging <= 1 cross-region delay (vs >= 1.5 for the spread
+# baseline), stop beating the baseline's multi-region latency, a
+# single-region round misses the logless one-phase path, a committed
+# transaction is lost, or the WAN-priced schedule diverges across
+# placements.
+gate "geo commit (bench_db_geo --txs 4000)" \
+  ./build/bench_db_geo --txs 4000
+
 if [ "${1:-}" = "--asan" ]; then
   run_suite build-asan -DFASTCOMMIT_SANITIZE=address
 fi
